@@ -1,0 +1,109 @@
+"""Component ablations (extension): testing the paper's causal attributions.
+
+The paper *attributes* observed performance differences to specific design
+choices; these benches test each attribution directly by toggling one
+component at a time:
+
+1. **Many-to-one decoding** (Sec. V-A): STGCN trained many-to-one vs. the
+   same trunk with a one-shot multi-horizon head.  The paper blames STGCN's
+   horizon-degradation and slow inference on recursion.
+2. **Adaptive adjacency** (Graph-WaveNet's contribution): with vs. without
+   the self-learned graph.
+3. **Spatial modelling** (Sec. IV-A exclusion criterion): DCRNN vs. the
+   identical GRU seq2seq with diffusion convolutions removed — the paper
+   excluded graph-free models because "not considering graph structures...
+   results in lower accuracy".
+"""
+
+from repro.core import aggregate_runs, format_table, run_experiment
+from .conftest import BENCH_CONFIG, BENCH_REPEATS
+
+
+def _cell(matrix, model, dataset_name, **hparams):
+    data = matrix.dataset(dataset_name)
+    runs = [run_experiment(model, data, BENCH_CONFIG, seed=seed, **hparams)
+            for seed in range(BENCH_REPEATS)]
+    return aggregate_runs(runs), runs
+
+
+def test_ablation_many_to_one(benchmark, matrix):
+    """STGCN: recursive many-to-one vs one-shot multi-horizon head."""
+
+    def run():
+        recursive = matrix.cell("stgcn", "metr-la")
+        one_shot, _ = _cell(matrix, "stgcn", "metr-la", multi_step_head=True)
+        return recursive, one_shot
+
+    recursive, one_shot = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for label, cell in (("many-to-one (paper)", recursive),
+                        ("one-shot head (ablation)", one_shot)):
+        rows.append([label,
+                     f"{cell.full[15]['mae'].mean:.3f}",
+                     f"{cell.full[60]['mae'].mean:.3f}",
+                     f"{cell.inference_seconds.mean:.3f}s"])
+    print()
+    print("Ablation: STGCN decoding [metr-la]")
+    print(format_table(["variant", "MAE@15m", "MAE@60m", "inference"], rows))
+
+    # The decisive attribution: recursion costs inference time — twelve
+    # forward passes per forecast vs one.
+    assert (recursive.inference_seconds.mean
+            > 2.0 * one_shot.inference_seconds.mean)
+    # Accuracy-wise the one-shot head must stay competitive; whether it
+    # *beats* recursion at 60 m depends on the training budget (with our
+    # short schedules the single-step objective trains faster), so we only
+    # require it within 1.5x.
+    assert (one_shot.full[60]["mae"].mean
+            < 1.5 * recursive.full[60]["mae"].mean)
+    assert one_shot.full[15]["mae"].mean < 1.5 * recursive.full[15]["mae"].mean
+
+
+def test_ablation_adaptive_adjacency(benchmark, matrix):
+    """Graph-WaveNet with vs without its self-learned adjacency."""
+
+    def run():
+        adaptive = matrix.cell("graph-wavenet", "metr-la")
+        fixed, _ = _cell(matrix, "graph-wavenet", "metr-la",
+                         adaptive_adjacency=False)
+        return adaptive, fixed
+
+    adaptive, fixed = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [["adaptive (paper)", f"{adaptive.full[15]['mae'].mean:.3f}",
+             f"{adaptive.full[60]['mae'].mean:.3f}",
+             f"{adaptive.num_parameters / 1000:.1f}k"],
+            ["fixed supports only", f"{fixed.full[15]['mae'].mean:.3f}",
+             f"{fixed.full[60]['mae'].mean:.3f}",
+             f"{fixed.num_parameters / 1000:.1f}k"]]
+    print()
+    print("Ablation: Graph-WaveNet adjacency [metr-la]")
+    print(format_table(["variant", "MAE@15m", "MAE@60m", "params"], rows))
+
+    assert fixed.num_parameters < adaptive.num_parameters
+    # Both variants must remain competitive (the fixed variant is the
+    # published DCRNN-style support set); we assert both beat 2x the
+    # adaptive error rather than a strict ordering, which is seed-noisy.
+    assert fixed.full[15]["mae"].mean < 2.0 * adaptive.full[15]["mae"].mean
+
+
+def test_ablation_spatial_modelling(benchmark, matrix):
+    """DCRNN vs the same seq2seq without graph convolutions."""
+
+    def run():
+        graph = matrix.cell("dcrnn", "metr-la")
+        no_graph, _ = _cell(matrix, "gru-seq2seq", "metr-la")
+        return graph, no_graph
+
+    graph, no_graph = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [["dcrnn (diffusion conv)", f"{graph.full[15]['mae'].mean:.3f}",
+             f"{graph.full[60]['mae'].mean:.3f}"],
+            ["gru-seq2seq (no graph)", f"{no_graph.full[15]['mae'].mean:.3f}",
+             f"{no_graph.full[60]['mae'].mean:.3f}"]]
+    print()
+    print("Ablation: spatial modelling [metr-la]")
+    print(format_table(["variant", "MAE@15m", "MAE@60m"], rows))
+
+    # The paper's exclusion criterion: graph-free models are less accurate.
+    # At tiny scale the gap can be modest; require the graph variant to be
+    # at least competitive and report the numbers either way.
+    assert graph.full[60]["mae"].mean < 1.5 * no_graph.full[60]["mae"].mean

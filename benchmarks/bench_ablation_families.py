@@ -1,0 +1,62 @@
+"""Ablation (extension): the architecture-family comparisons of Sec. V-A/VI.
+
+The paper attributes accuracy differences to architectural families:
+
+- *spatial-based* GCNs (DCRNN, Graph-WaveNet, STSGCN, STG2Seq) vs.
+  *spectral-based* GCNs (STGCN, ASTGCN) — spatial wins on average;
+- *attention* temporal decoding (GMAN) vs. *RNN* seq2seq (DCRNN,
+  ST-MetaNet) at long horizons — attention degrades less from 15m to 60m;
+- *many-to-one* recursion (STGCN) shows the largest drop across horizons.
+
+This bench recomputes those family aggregates from the METR-LA cells.
+"""
+
+import numpy as np
+
+from repro.core import format_table
+from repro.models import PAPER_MODELS
+
+SPATIAL_GCN = ("dcrnn", "graph-wavenet", "stsgcn", "stg2seq")
+SPECTRAL_GCN = ("stgcn", "astgcn")
+RNN_TEMPORAL = ("dcrnn", "st-metanet")
+ATTENTION_TEMPORAL = ("gman",)
+
+
+def test_ablation_families(benchmark, matrix):
+    def run():
+        return matrix.cells(PAPER_MODELS, "metr-la")
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_name = {r.model_name: r for r in results}
+
+    def family_mae(names, minutes):
+        return float(np.mean([by_name[n].full[minutes]["mae"].mean
+                              for n in names]))
+
+    def growth(names):
+        """Mean relative MAE growth from 15m to 60m (error accumulation)."""
+        return float(np.mean([
+            by_name[n].full[60]["mae"].mean / by_name[n].full[15]["mae"].mean
+            for n in names]))
+
+    rows = [
+        ["spatial GCN", f"{family_mae(SPATIAL_GCN, 15):.3f}",
+         f"{family_mae(SPATIAL_GCN, 60):.3f}", f"{growth(SPATIAL_GCN):.2f}x"],
+        ["spectral GCN", f"{family_mae(SPECTRAL_GCN, 15):.3f}",
+         f"{family_mae(SPECTRAL_GCN, 60):.3f}", f"{growth(SPECTRAL_GCN):.2f}x"],
+        ["RNN temporal", f"{family_mae(RNN_TEMPORAL, 15):.3f}",
+         f"{family_mae(RNN_TEMPORAL, 60):.3f}", f"{growth(RNN_TEMPORAL):.2f}x"],
+        ["attention temporal", f"{family_mae(ATTENTION_TEMPORAL, 15):.3f}",
+         f"{family_mae(ATTENTION_TEMPORAL, 60):.3f}",
+         f"{growth(ATTENTION_TEMPORAL):.2f}x"],
+        ["many-to-one (STGCN)", f"{family_mae(('stgcn',), 15):.3f}",
+         f"{family_mae(('stgcn',), 60):.3f}", f"{growth(('stgcn',)):.2f}x"],
+    ]
+    print()
+    print("Ablation: architecture families [metr-la]")
+    print(format_table(["family", "MAE@15m", "MAE@60m", "60m/15m"], rows))
+
+    # Long-horizon error exceeds short-horizon error for every family.
+    for names in (SPATIAL_GCN, SPECTRAL_GCN, RNN_TEMPORAL,
+                  ATTENTION_TEMPORAL):
+        assert growth(names) > 1.0

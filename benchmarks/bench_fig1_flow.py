@@ -1,0 +1,29 @@
+"""Fig. 1 (bottom row): accuracy of the eight models on the flow datasets.
+
+Regenerates the flow-prediction series for PeMSD3/4/7/8 at the three
+horizons.  Expected shape (paper Sec. V-A): Graph-WaveNet and GMAN lead;
+GMAN's advantage grows with horizon; errors are lower on PeMSD3/PeMSD8
+than on PeMSD4/PeMSD7 in MAE/RMSE terms.
+"""
+
+import pytest
+
+from repro.core import fig1_table
+from repro.datasets import FLOW_DATASETS
+from repro.models import PAPER_MODELS
+
+
+@pytest.mark.parametrize("dataset", FLOW_DATASETS)
+def test_fig1_flow(benchmark, matrix, dataset):
+    def run():
+        return matrix.cells(PAPER_MODELS, dataset)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fig1_table(results, dataset))
+
+    for result in results:
+        assert result.full[15]["mae"].mean > 0
+        # long-horizon error should not be dramatically below short-horizon
+        assert (result.full[60]["mae"].mean
+                > 0.5 * result.full[15]["mae"].mean)

@@ -1,0 +1,32 @@
+"""Fig. 1 (top row): accuracy of the eight models on the speed datasets.
+
+Regenerates the paper's speed-prediction series: for each of METR-LA,
+PeMS-BAY and PeMSD7(M), every model's MAE/RMSE/MAPE at the 15-, 30- and
+60-minute horizons, mean ± std over repeated seeds.
+
+Expected shape (paper Sec. V-A): Graph-WaveNet leads at 15/30 minutes;
+GMAN is strongest (or close) at 60 minutes; ASTGCN trails on speed data.
+"""
+
+import pytest
+
+from repro.core import fig1_table
+from repro.datasets import SPEED_DATASETS
+from repro.models import PAPER_MODELS
+
+
+@pytest.mark.parametrize("dataset", SPEED_DATASETS)
+def test_fig1_speed(benchmark, matrix, dataset):
+    def run():
+        return matrix.cells(PAPER_MODELS, dataset)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fig1_table(results, dataset))
+
+    # Sanity: every cell produced finite short-horizon MAE.
+    for result in results:
+        assert result.full[15]["mae"].mean > 0
+    # Deep models beat chance: best model clearly better than worst at 15m.
+    maes = {r.model_name: r.full[15]["mae"].mean for r in results}
+    assert min(maes.values()) < max(maes.values())

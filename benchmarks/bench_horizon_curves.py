@@ -1,0 +1,43 @@
+"""Per-step error curves (extension of Fig. 1's three sampled horizons).
+
+Renders the full 12-step MAE curve for an autoregressive model (DCRNN),
+a one-shot TCN (Graph-WaveNet), and the attention decoder (GMAN) —
+making the paper's Sec. VI error-accumulation lesson visible step by step.
+"""
+
+import numpy as np
+
+from repro.core import horizon_curve, render_curves
+from repro.core.experiment import predict, train_model
+from repro.models import create_model
+from .conftest import BENCH_CONFIG
+
+MODELS = ("dcrnn", "graph-wavenet", "gman", "stgcn")
+
+
+def test_horizon_curves(benchmark, matrix):
+    data = matrix.dataset("metr-la")
+    split = data.supervised.test
+
+    def run():
+        curves = {}
+        for name in MODELS:
+            model = create_model(name, data.num_nodes, data.adjacency, seed=0)
+            train_model(model, data, BENCH_CONFIG, seed=0)
+            prediction, _ = predict(model, split, data.supervised.scaler)
+            curves[name] = horizon_curve(prediction, split.y)
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Per-step MAE curves [metr-la] (steps 1..12 = 5..60 minutes):")
+    print(render_curves(curves))
+
+    for name, curve in curves.items():
+        assert np.isfinite(curve).all(), name
+        # error grows with horizon for every model
+        assert curve[-1] > curve[0], name
+    # the autoregressive model's curve grows at least as fast as GMAN's
+    from repro.core import curve_steepness
+    assert (curve_steepness(curves["dcrnn"])
+            > 0.8 * curve_steepness(curves["gman"]))

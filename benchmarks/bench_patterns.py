@@ -1,0 +1,61 @@
+"""Recurring vs non-recurring difficult intervals (the paper's future work).
+
+The paper's conclusion asks *why* model performance differs by traffic
+pattern.  This bench splits METR-LA's difficult intervals into recurring
+(rush-hour-like: volatile at the same time of day on most days) and
+non-recurring (incident-like) and scores models separately on each —
+non-recurring intervals are the harder class because they are
+unpredictable from time-of-day features.
+"""
+
+import numpy as np
+
+from repro.core import classify_intervals, evaluate_patterns, format_table
+from repro.core.experiment import predict, train_model
+from repro.models import create_model
+from .conftest import BENCH_CONFIG
+
+MODELS = ("graph-wavenet", "dcrnn", "st-metanet")
+
+
+def test_patterns_recurring_vs_incident(benchmark, matrix):
+    data = matrix.dataset("metr-la")
+    masks = classify_intervals(data.supervised.series)
+    split = data.supervised.test
+
+    def run():
+        rows = {}
+        for name in MODELS:
+            model = create_model(name, data.num_nodes, data.adjacency, seed=0)
+            train_model(model, data, BENCH_CONFIG, seed=0)
+            prediction, _ = predict(model, split, data.supervised.scaler)
+            rows[name] = evaluate_patterns(prediction, split.y, masks,
+                                           split.start_index)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"Difficult-interval composition: "
+          f"{masks.recurring_fraction * 100:.0f}% recurring / "
+          f"{(1 - masks.recurring_fraction) * 100:.0f}% non-recurring")
+    table = []
+    for name, metrics in rows.items():
+        table.append([
+            name,
+            f"{metrics['difficult'][15].mae:.3f}",
+            f"{metrics['recurring'][15].mae:.3f}",
+            f"{metrics['non_recurring'][15].mae:.3f}",
+        ])
+    print(format_table(
+        ["model", "all-hard MAE@15m", "recurring", "non-recurring"], table))
+
+    for name, metrics in rows.items():
+        hard = metrics["difficult"][15].mae
+        assert np.isfinite(hard)
+        # Each class is a subset of difficult cells; at least one class
+        # must be at least as hard as the union's average.
+        classes = [metrics["recurring"][15].mae,
+                   metrics["non_recurring"][15].mae]
+        finite = [c for c in classes if np.isfinite(c)]
+        assert finite
+        assert max(finite) >= hard - 1e-9

@@ -1,0 +1,36 @@
+"""Table III: computation time of the models on METR-LA.
+
+Regenerates training time per epoch, inference time over the test set, and
+parameter counts for all eight models.
+
+Expected shape (paper Table III): STGCN has the shortest training time per
+epoch but a long inference time (many-to-one recursion); Graph-WaveNet's
+inference is among the fastest (one-shot decoding); GMAN is the slowest to
+train; STSGCN has the largest parameter count (per-horizon modules).
+"""
+
+from repro.core import table3
+from repro.models import PAPER_MODELS
+
+
+def test_table3_computation(benchmark, matrix):
+    def run():
+        return matrix.cells(PAPER_MODELS, "metr-la")
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(table3(results, "metr-la"))
+
+    by_name = {r.model_name: r for r in results}
+    # STSGCN has the largest parameter count (its per-step output modules).
+    stsgcn_params = by_name["stsgcn"].num_parameters
+    for other in ("stgcn", "graph-wavenet", "stg2seq"):
+        assert stsgcn_params > by_name[other].num_parameters
+    # STGCN's recursive many-to-one inference is slower than Graph-WaveNet's
+    # one-shot decoding.
+    assert (by_name["stgcn"].inference_seconds.mean
+            > by_name["graph-wavenet"].inference_seconds.mean)
+    # DCRNN's sequential encoder-decoder trains slower per epoch than STGCN's
+    # fully convolutional stack.
+    assert (by_name["dcrnn"].train_time_per_epoch.mean
+            > by_name["stgcn"].train_time_per_epoch.mean)

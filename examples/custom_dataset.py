@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Bring your own dataset: simulate a custom city and benchmark on it.
+
+Shows the full substrate API: build a road network, configure the traffic
+simulator (rush intensity, incidents, missing data), window the series, and
+train a model — without going through the named Table I catalog.
+
+Run:  python examples/custom_dataset.py --nodes 12 --days 5 --topology radial
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import TrainingConfig
+from repro.core import evaluate_model, train_model
+from repro.datasets import SimulationConfig, TrafficSimulator, make_windows
+from repro.datasets.catalog import DatasetSpec, LoadedDataset
+from repro.graph import build_network, gaussian_adjacency
+from repro.models import create_model, model_names
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=10)
+    parser.add_argument("--days", type=int, default=5)
+    parser.add_argument("--topology", default="radial",
+                        choices=("corridor", "grid", "radial"))
+    parser.add_argument("--task", default="speed", choices=("speed", "flow"))
+    parser.add_argument("--incident-rate", type=float, default=2.0,
+                        help="incidents per day (drives difficult intervals)")
+    parser.add_argument("--model", default="stg2seq", choices=model_names())
+    parser.add_argument("--epochs", type=int, default=3)
+    args = parser.parse_args()
+
+    # 1. A road network of your own design.
+    network = build_network(args.nodes, topology=args.topology, seed=7)
+    adjacency = gaussian_adjacency(network)
+    print(f"Built a {args.topology} network: {network.num_nodes} sensors, "
+          f"{network.graph.number_of_edges()} directed edges")
+
+    # 2. A traffic world with your own dynamics.
+    sim_config = SimulationConfig(num_days=args.days,
+                                  rush_intensity=0.5,
+                                  incident_rate_per_day=args.incident_rate,
+                                  missing_rate=0.02)
+    simulation = TrafficSimulator(network, sim_config, seed=21).run()
+    values = (simulation.speed if args.task == "speed" else simulation.flow)
+    print(f"Simulated {len(values)} five-minute steps "
+          f"({len(simulation.incident_log)} incidents, "
+          f"{simulation.missing_mask.mean() * 100:.1f}% missing readings)")
+
+    # 3. Window it and wrap it like a catalog dataset.
+    supervised = make_windows(values, simulation.time_of_day)
+    spec = DatasetSpec(name="my-city", task=args.task, region="Custom",
+                       topology=args.topology, paper_nodes=args.nodes,
+                       paper_days=args.days)
+    data = LoadedDataset(spec=spec, scale="custom", network=network,
+                         adjacency=adjacency, simulation=simulation,
+                         supervised=supervised)
+
+    # 4. Train and evaluate with the paper's protocol.
+    model = create_model(args.model, data.num_nodes, adjacency, seed=0)
+    print(f"\nTraining {args.model} "
+          f"({model.num_parameters() / 1000:.1f}k parameters) ...")
+    train_model(model, data, TrainingConfig(epochs=args.epochs, verbose=True))
+    evaluation = evaluate_model(model, data)
+
+    print("\nResults on the custom dataset:")
+    for minutes in (15, 30, 60):
+        full = evaluation.full[minutes]
+        print(f"  {minutes:>2}m: MAE={full.mae:.3f} RMSE={full.rmse:.3f} "
+              f"MAPE={full.mape:.1f}%  "
+              f"(difficult-interval MAE={evaluation.difficult[minutes].mae:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Counterfactual incident study: how does a model react to a crash?
+
+Builds two identical traffic worlds that differ by exactly one injected
+incident, trains a model on the incident-free history, and compares its
+predictions around the event — quantifying what the paper's difficult-
+interval experiment measures in aggregate on a single, fully controlled
+event.
+
+Run:  python examples/incident_response.py --model graph-wavenet
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import TrainingConfig
+from repro.core import predict, sparkline, train_model
+from repro.datasets import (SimulationConfig, TrafficSimulator, make_windows)
+from repro.graph import build_network, gaussian_adjacency, network_stats
+from repro.models import create_model, model_names
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="graph-wavenet",
+                        choices=model_names())
+    parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--node", type=int, default=2,
+                        help="sensor where the incident happens")
+    parser.add_argument("--magnitude", type=float, default=0.6)
+    parser.add_argument("--duration", type=int, default=12,
+                        help="incident duration in 5-minute steps")
+    args = parser.parse_args()
+
+    network = build_network(10, topology="corridor", seed=5)
+    print("Network:", network_stats(network).render())
+    adjacency = gaussian_adjacency(network)
+    config = SimulationConfig(num_days=5, incident_rate_per_day=0.5,
+                              missing_rate=0.0)
+
+    # The incident lands in the *test* region (last 20% of the series).
+    total_steps = config.num_days * 288
+    incident_step = int(total_steps * 0.9)
+    base = TrafficSimulator(network, config, seed=11).run()
+    shocked = TrafficSimulator(network, config, seed=11).run(
+        extra_incidents=[(incident_step, args.node, args.magnitude,
+                          args.duration)])
+
+    def windows_for(sim):
+        return make_windows(sim.speed, sim.time_of_day,
+                            day_of_week=sim.day_of_week)
+
+    data_base = windows_for(base)
+    data_shock = windows_for(shocked)
+
+    model = create_model(args.model, network.num_nodes, adjacency, seed=0)
+    print(f"\nTraining {args.model} on the incident-free world ...")
+
+    # Wrap in the LoadedDataset shape train_model expects.
+    from repro.datasets.catalog import DatasetSpec, LoadedDataset
+    spec = DatasetSpec(name="counterfactual", task="speed", region="Custom",
+                       topology="corridor", paper_nodes=10, paper_days=5)
+    wrapped = LoadedDataset(spec=spec, scale="custom", network=network,
+                            adjacency=adjacency, simulation=base,
+                            supervised=data_base)
+    train_model(model, wrapped, TrainingConfig(epochs=args.epochs,
+                                               verbose=True))
+
+    pred_base, _ = predict(model, data_base.test, data_base.scaler)
+    pred_shock, _ = predict(model, data_shock.test, data_shock.scaler)
+
+    # One-step-ahead error around the incident, per world.
+    def window_errors(pred, data):
+        truth = data.test.y[:, 0, args.node]
+        est = pred[:, 0, args.node]
+        return np.abs(est - truth), data.test.start_index
+
+    err_base, starts = window_errors(pred_base, data_base)
+    err_shock, _ = window_errors(pred_shock, data_shock)
+    around = ((starts >= incident_step - 6)
+              & (starts < incident_step + args.duration + 6))
+
+    print(f"\nIncident at step {incident_step}, sensor {args.node} "
+          f"(magnitude {args.magnitude}, {args.duration * 5} minutes)")
+    print(f"truth (shocked):  "
+          f"{sparkline(data_shock.test.y[around, 0, args.node], 40)}")
+    print(f"model prediction: "
+          f"{sparkline(pred_shock[around, 0, args.node], 40)}")
+    print(f"\n1-step MAE at sensor {args.node}:")
+    print(f"  calm world, around event window : {err_base[around].mean():.2f}")
+    print(f"  shocked world, same window      : {err_shock[around].mean():.2f}")
+    print(f"  shocked world, elsewhere        : {err_shock[~around].mean():.2f}")
+    ratio = err_shock[around].mean() / max(err_base[around].mean(), 1e-9)
+    print(f"\nThe unannounced incident multiplies the model's error by "
+          f"{ratio:.1f}x — the single-event view of the paper's Fig. 2.")
+
+
+if __name__ == "__main__":
+    main()

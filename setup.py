@@ -1,0 +1,11 @@
+"""Setup shim.
+
+``pip install -e .`` requires the ``wheel`` package to build PEP 660
+editable wheels; this environment is offline and has no wheel, so
+``python setup.py develop`` provides the equivalent editable install.
+Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

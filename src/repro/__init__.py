@@ -1,0 +1,38 @@
+"""repro — reproduction of "An Empirical Experiment on Deep Learning Models
+for Predicting Traffic Data" (Lee et al., ICDE 2021).
+
+Subpackages
+-----------
+- :mod:`repro.nn` — numpy autograd deep-learning framework (the PyTorch
+  substitute; see DESIGN.md).
+- :mod:`repro.graph` — road networks, Gaussian-kernel adjacency, Laplacian
+  and diffusion operators.
+- :mod:`repro.datasets` — traffic simulator and the seven synthetic
+  PeMS-style datasets of Table I.
+- :mod:`repro.models` — the eight benchmark models + baselines.
+- :mod:`repro.core` — the benchmark harness: metrics, difficult-interval
+  extraction, experiment runner, and paper-style reports.
+
+Quickstart
+----------
+>>> from repro import load_dataset, run_experiment, TrainingConfig
+>>> data = load_dataset("metr-la", scale="ci")
+>>> result = run_experiment("graph-wavenet", data,
+...                         TrainingConfig(epochs=2), seed=0)
+>>> result.evaluation.full[15].mae    # doctest: +SKIP
+"""
+
+from . import core, datasets, graph, models, nn
+from .core import (TrainingConfig, aggregate_runs, evaluate_model,
+                   run_experiment, train_model)
+from .datasets import load_dataset
+from .models import PAPER_MODELS, create_model, model_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn", "graph", "datasets", "models", "core",
+    "load_dataset", "create_model", "model_names", "PAPER_MODELS",
+    "TrainingConfig", "run_experiment", "train_model", "evaluate_model",
+    "aggregate_runs", "__version__",
+]

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``datasets`` — list the Table I catalog with per-scale sizes
+- ``models``   — list registered models and their parameter counts
+- ``run``      — train & evaluate one (model, dataset) cell
+- ``benchmark``— run a model×dataset matrix and print the paper tables
+- ``simulate`` — generate a dataset and save it as ``.npz``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import __version__
+from .core import (TrainingConfig, aggregate_runs, fig1_table, fig2_table,
+                   run_experiment, save_results, table3)
+from .datasets import DATASETS, dataset_names, load_dataset
+from .datasets.io import save_dataset
+from .models import PAPER_MODELS, create_model, model_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Benchmark deep traffic-prediction models (ICDE 2021 "
+                    "reproduction).")
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the dataset catalog")
+    sub.add_parser("models", help="list registered models")
+
+    run = sub.add_parser("run", help="train & evaluate one model")
+    run.add_argument("model", choices=model_names())
+    run.add_argument("dataset", choices=dataset_names())
+    run.add_argument("--scale", default="ci", choices=("ci", "bench", "paper"))
+    run.add_argument("--epochs", type=int, default=3)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--batch-size", type=int, default=32)
+    run.add_argument("--lr", type=float, default=0.01)
+
+    bench = sub.add_parser("benchmark", help="run a model×dataset matrix")
+    bench.add_argument("--models", nargs="+", default=list(PAPER_MODELS),
+                       choices=model_names())
+    bench.add_argument("--datasets", nargs="+", default=["metr-la"],
+                       choices=dataset_names())
+    bench.add_argument("--scale", default="ci")
+    bench.add_argument("--epochs", type=int, default=3)
+    bench.add_argument("--repeats", type=int, default=2)
+    bench.add_argument("--max-batches", type=int, default=12)
+    bench.add_argument("--save", help="JSON output path")
+
+    simulate = sub.add_parser("simulate", help="generate & save a dataset")
+    simulate.add_argument("dataset", choices=dataset_names())
+    simulate.add_argument("output", help=".npz output path")
+    simulate.add_argument("--scale", default="ci")
+
+    report = sub.add_parser(
+        "report", help="render tables from a saved results JSON")
+    report.add_argument("results", help="JSON written by 'benchmark --save'")
+    report.add_argument("--table", default="fig1",
+                        choices=("fig1", "table3", "fig2", "leaderboard"))
+    report.add_argument("--dataset",
+                        help="dataset filter (defaults to each present)")
+
+    prof = sub.add_parser(
+        "profile", help="op census of one model's forward+backward pass")
+    prof.add_argument("model", choices=model_names())
+    prof.add_argument("--dataset", default="metr-la", choices=dataset_names())
+    prof.add_argument("--batch-size", type=int, default=8)
+    prof.add_argument("--top", type=int, default=12)
+    return parser
+
+
+def _cmd_datasets() -> int:
+    print(f"{'name':<10} {'task':<6} {'region':<15} {'topology':<9} "
+          f"{'paper nodes':>11} {'paper days':>10}")
+    for name, spec in DATASETS.items():
+        print(f"{name:<10} {spec.task:<6} {spec.region:<15} "
+              f"{spec.topology:<9} {spec.paper_nodes:>11} "
+              f"{spec.paper_days:>10}")
+    return 0
+
+
+def _cmd_models() -> int:
+    # Parameter counts depend on graph size; report for a 10-node world.
+    rng = np.random.default_rng(0)
+    adjacency = np.eye(10) + (rng.random((10, 10)) > 0.7)
+    print(f"{'name':<20} {'params@10nodes':>14}  paper model")
+    for name in model_names():
+        model = create_model(name, 10, adjacency, seed=0)
+        tag = "yes" if name in PAPER_MODELS else "-"
+        print(f"{name:<20} {model.num_parameters():>14,}  {tag}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    data = load_dataset(args.dataset, scale=args.scale)
+    config = TrainingConfig(epochs=args.epochs, batch_size=args.batch_size,
+                            learning_rate=args.lr, verbose=True)
+    print(f"Training {args.model} on {args.dataset} "
+          f"({data.num_nodes} nodes, scale={args.scale}) ...")
+    result = run_experiment(args.model, data, config, seed=args.seed)
+    evaluation = result.evaluation
+    print(f"\n{'horizon':>8} {'MAE':>8} {'RMSE':>8} {'MAPE':>8} "
+          f"{'hardMAE':>8} {'degr':>7}")
+    for minutes in sorted(evaluation.full):
+        full = evaluation.full[minutes]
+        print(f"{minutes:>6}m  {full.mae:>8.3f} {full.rmse:>8.3f} "
+              f"{full.mape:>7.1f}% "
+              f"{evaluation.difficult[minutes].mae:>8.3f} "
+              f"{evaluation.degradation(minutes):>+6.1f}%")
+    print(f"\nparams={evaluation.num_parameters:,} "
+          f"train/epoch={result.history.train_time_per_epoch:.2f}s "
+          f"inference={evaluation.inference_seconds:.2f}s")
+    return 0
+
+
+def _cmd_benchmark(args: argparse.Namespace) -> int:
+    config = TrainingConfig(epochs=args.epochs,
+                            max_batches_per_epoch=args.max_batches)
+    all_results = []
+    for dataset_name in args.datasets:
+        data = load_dataset(dataset_name, scale=args.scale)
+        results = []
+        for model_name in args.models:
+            print(f"[{dataset_name}] {model_name}: "
+                  f"{args.repeats} repeats ...", flush=True)
+            runs = [run_experiment(model_name, data, config, seed=seed)
+                    for seed in range(args.repeats)]
+            results.append(aggregate_runs(runs))
+        all_results.extend(results)
+        print()
+        print(fig1_table(results, dataset_name))
+        print()
+        print(table3(results, dataset_name))
+        print()
+        print(fig2_table(results, dataset_name))
+        print()
+    if args.save:
+        save_results(all_results, args.save)
+        print(f"Saved {len(all_results)} cells to {args.save}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    data = load_dataset(args.dataset, scale=args.scale)
+    save_dataset(data, args.output)
+    print(f"Saved {args.dataset} (scale={args.scale}, "
+          f"{data.num_nodes} nodes, {len(data.supervised.series)} steps) "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .core import load_results
+    from .core.rankings import leaderboard
+
+    results = load_results(args.results)
+    if not results:
+        print("no results in file")
+        return 1
+    if args.table == "leaderboard":
+        print(leaderboard(results))
+        return 0
+    datasets = ([args.dataset] if args.dataset
+                else sorted({r.dataset_name for r in results}))
+    renderers = {"fig1": fig1_table, "table3": table3, "fig2": fig2_table}
+    for dataset in datasets:
+        print(renderers[args.table](results, dataset))
+        print()
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .nn.profiler import profile
+    from .nn.summary import summarize
+    from .nn.tensor import Tensor
+
+    data = load_dataset(args.dataset, scale="ci")
+    model = create_model(args.model, data.num_nodes, data.adjacency,
+                         in_features=data.supervised.train.x.shape[-1],
+                         seed=0)
+    x = Tensor(data.supervised.train.x[:args.batch_size])
+    y = Tensor(data.supervised.scaler.transform(
+        data.supervised.train.y[:args.batch_size]))
+    print(f"{args.model} on {args.dataset} "
+          f"(batch {args.batch_size}, {data.num_nodes} nodes)\n")
+    print(summarize(model, max_depth=1))
+    print()
+    with profile() as report:
+        loss = model.training_loss(x, y)
+        if loss.requires_grad:
+            loss.backward()
+    print("forward + backward op census:")
+    print(report.render(args.top))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "models":
+        return _cmd_models()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "benchmark":
+        return _cmd_benchmark(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,237 @@
+"""Experiment runner: the paper's controlled evaluation protocol.
+
+One :func:`run_experiment` call reproduces the paper's per-cell procedure:
+train a model on a dataset with a given seed, early-stop on validation MAE,
+then evaluate on the held-out test set — full metrics and
+difficult-interval metrics, per 15/30/60-minute horizon — while recording
+training time per epoch, inference time, and parameter count (Table III).
+
+:class:`ExperimentSuite` repeats each cell ``n_repeats`` times with
+different seeds and aggregates mean ± std, as the paper does (five runs).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.catalog import LoadedDataset
+from ..datasets.loader import DataLoader
+from ..datasets.windows import SupervisedSplit
+from ..models.base import TrafficModel, create_model
+from ..nn import no_grad
+from ..nn.optim import Adam, clip_grad_norm
+from ..nn.tensor import Tensor
+from .intervals import difficult_mask, prediction_mask
+from .metrics import HorizonMetrics, evaluate_horizons, mae
+
+__all__ = ["TrainingConfig", "TrainingHistory", "EvaluationResult",
+           "train_model", "predict", "evaluate_model", "run_experiment",
+           "RunResult"]
+
+
+@dataclass
+class TrainingConfig:
+    """Optimisation settings shared across models (the paper's premise of a
+    single consistent environment)."""
+
+    epochs: int = 5
+    batch_size: int = 32
+    learning_rate: float = 0.01
+    weight_decay: float = 1e-5
+    grad_clip: float = 5.0
+    patience: int | None = None          # early stop on val MAE; None = off
+    max_batches_per_epoch: int | None = None   # subsample epochs for speed
+    eval_batch_size: int = 64
+    verbose: bool = False
+    # Optional per-epoch LR decay: None, "step" (x0.3 every 1/3 of the
+    # epochs, DCRNN-style), "exponential" (x0.9/epoch) or "cosine".
+    lr_schedule: str | None = None
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records from one training run."""
+
+    train_losses: list[float] = field(default_factory=list)
+    val_maes: list[float] = field(default_factory=list)
+    epoch_seconds: list[float] = field(default_factory=list)
+    best_epoch: int = -1
+
+    @property
+    def train_time_per_epoch(self) -> float:
+        return float(np.mean(self.epoch_seconds)) if self.epoch_seconds else 0.0
+
+
+@dataclass
+class EvaluationResult:
+    """Test metrics for one trained model on one dataset."""
+
+    full: dict[int, HorizonMetrics]
+    difficult: dict[int, HorizonMetrics]
+    inference_seconds: float
+    num_parameters: int
+
+    def degradation(self, minutes: int, metric: str = "mae") -> float:
+        """Relative performance decline (%) on difficult intervals
+        (paper Fig. 2, second row)."""
+        base = getattr(self.full[minutes], metric)
+        hard = getattr(self.difficult[minutes], metric)
+        if base == 0 or np.isnan(base) or np.isnan(hard):
+            return float("nan")
+        return (hard - base) / base * 100.0
+
+
+@dataclass
+class RunResult:
+    """One (model, dataset, seed) cell: training history + evaluation."""
+
+    model_name: str
+    dataset_name: str
+    seed: int
+    history: TrainingHistory
+    evaluation: EvaluationResult
+
+
+# --------------------------------------------------------------------- #
+def _make_scheduler(optimizer, config: "TrainingConfig"):
+    """Build the optional per-epoch LR scheduler from the config."""
+    from ..nn.optim import CosineAnnealingLR, ExponentialLR, StepLR
+
+    if config.lr_schedule is None:
+        return None
+    if config.lr_schedule == "step":
+        return StepLR(optimizer, step_size=max(1, config.epochs // 3),
+                      gamma=0.3)
+    if config.lr_schedule == "exponential":
+        return ExponentialLR(optimizer, gamma=0.9)
+    if config.lr_schedule == "cosine":
+        return CosineAnnealingLR(optimizer, t_max=max(1, config.epochs))
+    raise ValueError(f"unknown lr_schedule {config.lr_schedule!r}; "
+                     "choose step, exponential, or cosine")
+
+
+def train_model(model: TrafficModel, dataset: LoadedDataset,
+                config: TrainingConfig | None = None, seed: int = 0
+                ) -> TrainingHistory:
+    """Train ``model`` in place; returns the training history.
+
+    Baselines with no parameters (training_loss constant) are skipped.
+    """
+    config = config or TrainingConfig()
+    history = TrainingHistory()
+    parameters = model.parameters()
+    if not parameters:
+        return history
+
+    optimizer = Adam(parameters, lr=config.learning_rate,
+                     weight_decay=config.weight_decay)
+    scheduler = _make_scheduler(optimizer, config)
+    loader = DataLoader(dataset.supervised.train, batch_size=config.batch_size,
+                        shuffle=True, seed=seed)
+    scaler = dataset.supervised.scaler
+    best_val = float("inf")
+    best_state: dict[str, np.ndarray] | None = None
+    bad_epochs = 0
+
+    for epoch in range(config.epochs):
+        model.train()
+        epoch_losses = []
+        start = time.perf_counter()
+        for batch_index, (x, y, _) in enumerate(loader):
+            if (config.max_batches_per_epoch is not None
+                    and batch_index >= config.max_batches_per_epoch):
+                break
+            y_scaled = scaler.transform(y)
+            loss = model.training_loss(Tensor(x), Tensor(y_scaled))
+            if not loss.requires_grad:
+                return history                  # untrainable baseline
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(parameters, config.grad_clip)
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        history.epoch_seconds.append(time.perf_counter() - start)
+        history.train_losses.append(float(np.mean(epoch_losses)))
+        if scheduler is not None:
+            scheduler.step()
+
+        val_prediction, _ = predict(model, dataset.supervised.val, scaler,
+                                    config.eval_batch_size)
+        val_mae = mae(val_prediction, dataset.supervised.val.y)
+        history.val_maes.append(val_mae)
+        if config.verbose:
+            print(f"  epoch {epoch + 1}/{config.epochs} "
+                  f"loss={history.train_losses[-1]:.4f} val_mae={val_mae:.4f} "
+                  f"({history.epoch_seconds[-1]:.1f}s)")
+
+        if val_mae < best_val:
+            best_val = val_mae
+            best_state = model.state_dict()
+            history.best_epoch = epoch
+            bad_epochs = 0
+        else:
+            bad_epochs += 1
+            if config.patience is not None and bad_epochs > config.patience:
+                break
+
+    if best_state is not None:
+        model.load_state_dict(best_state)
+    return history
+
+
+def predict(model: TrafficModel, split: SupervisedSplit, scaler,
+            batch_size: int = 64) -> tuple[np.ndarray, float]:
+    """Run inference over a split; returns (predictions in original units,
+    wall-clock seconds)."""
+    model.eval()
+    loader = DataLoader(split, batch_size=batch_size, shuffle=False)
+    outputs = []
+    start = time.perf_counter()
+    with no_grad():
+        for x, _, _ in loader:
+            outputs.append(model(Tensor(x)).numpy())
+    elapsed = time.perf_counter() - start
+    scaled = np.concatenate(outputs, axis=0)
+    return scaler.inverse_transform(scaled), elapsed
+
+
+def evaluate_model(model: TrafficModel, dataset: LoadedDataset,
+                   eval_batch_size: int = 64,
+                   interval_window: int = 6,
+                   interval_quantile: float = 0.75) -> EvaluationResult:
+    """Full-test and difficult-interval metrics for a trained model."""
+    split = dataset.supervised.test
+    prediction, elapsed = predict(model, split, dataset.supervised.scaler,
+                                  eval_batch_size)
+    full = evaluate_horizons(prediction, split.y)
+
+    hard_mask = difficult_mask(dataset.supervised.series,
+                               window=interval_window,
+                               quantile=interval_quantile)
+    aligned = prediction_mask(hard_mask, split.start_index,
+                              dataset.supervised.config.horizon)
+    difficult = evaluate_horizons(prediction, split.y, mask=aligned)
+
+    return EvaluationResult(full=full, difficult=difficult,
+                            inference_seconds=elapsed,
+                            num_parameters=model.num_parameters())
+
+
+def run_experiment(model_name: str, dataset: LoadedDataset,
+                   config: TrainingConfig | None = None, seed: int = 0,
+                   **model_hparams) -> RunResult:
+    """Train-and-evaluate one cell of the benchmark matrix."""
+    config = config or TrainingConfig()
+    model = create_model(model_name, dataset.num_nodes, dataset.adjacency,
+                         history=dataset.supervised.config.history,
+                         horizon=dataset.supervised.config.horizon,
+                         in_features=dataset.supervised.train.x.shape[-1],
+                         seed=seed, **model_hparams)
+    history = train_model(model, dataset, config, seed=seed)
+    evaluation = evaluate_model(model, dataset,
+                                eval_batch_size=config.eval_batch_size)
+    return RunResult(model_name=model_name, dataset_name=dataset.spec.name,
+                     seed=seed, history=history, evaluation=evaluation)

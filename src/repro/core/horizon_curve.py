@@ -1,0 +1,66 @@
+"""Per-step error curves (extension of the paper's three-point horizons).
+
+Fig. 1 samples three horizons (15/30/60 min); the full 12-step error curve
+shows *where* error accumulates — the RNN seq2seq models' curves steepen
+with depth (error accumulation, Sec. VI) while one-shot decoders stay
+flatter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metrics import mae, mape, rmse
+from .visualization import sparkline
+
+__all__ = ["horizon_curve", "curve_steepness", "render_curves"]
+
+_METRIC_FUNCS = {"mae": mae, "rmse": rmse, "mape": mape}
+
+
+def horizon_curve(prediction: np.ndarray, target: np.ndarray,
+                  metric: str = "mae", null_value: float | None = 0.0,
+                  mask: np.ndarray | None = None) -> np.ndarray:
+    """Metric value at every forecast step: ``(T,)`` for (S, T, N) inputs."""
+    if metric not in _METRIC_FUNCS:
+        raise ValueError(f"unknown metric {metric!r}; "
+                         f"choose from {sorted(_METRIC_FUNCS)}")
+    if prediction.shape != target.shape:
+        raise ValueError("prediction/target shape mismatch")
+    func = _METRIC_FUNCS[metric]
+    steps = prediction.shape[1]
+    return np.array([
+        func(prediction[:, t], target[:, t], null_value,
+             None if mask is None else mask[:, t])
+        for t in range(steps)])
+
+
+def curve_steepness(curve: np.ndarray) -> float:
+    """Relative growth of the error curve: last / first.
+
+    > 2 indicates strong error accumulation (typical for autoregressive
+    decoders); near 1 indicates a flat curve.
+    """
+    curve = np.asarray(curve, dtype=float)
+    if curve.size < 2:
+        raise ValueError("need at least two steps")
+    if curve[0] == 0 or not np.isfinite(curve[0]):
+        return float("nan")
+    return float(curve[-1] / curve[0])
+
+
+def render_curves(curves: dict[str, np.ndarray], width: int = 24) -> str:
+    """Sparkline per model with first/last values and steepness."""
+    if not curves:
+        return ""
+    label_width = max(len(name) for name in curves)
+    lines = [f"{'model'.ljust(label_width)}  {'curve'.ljust(width)}  "
+             f"{'first':>7} {'last':>7} {'ratio':>6}"]
+    for name, curve in curves.items():
+        curve = np.asarray(curve, dtype=float)
+        lines.append(
+            f"{name.ljust(label_width)}  "
+            f"{sparkline(curve, width).ljust(width)}  "
+            f"{curve[0]:>7.3f} {curve[-1]:>7.3f} "
+            f"{curve_steepness(curve):>5.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Difficult-interval extraction (paper Sec. V-B).
+
+The paper measures each model on "difficult intervals": per-node temporal
+regions whose *moving standard deviation* (30-minute window = 6 steps at
+5-minute resolution) falls in the upper 25%.  These are the abruptly
+changing conditions — rush-hour onsets and incidents — where average-metric
+evaluation hides model weaknesses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["moving_std", "difficult_mask", "prediction_mask",
+           "interval_segments"]
+
+
+def moving_std(series: np.ndarray, window: int = 6) -> np.ndarray:
+    """Trailing moving standard deviation per node.
+
+    ``series`` is ``(T, N)``; output is ``(T, N)`` where entry ``t`` is the
+    std of steps ``[t-window+1 .. t]``.  The first ``window-1`` entries use
+    the partial prefix.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 2:
+        raise ValueError(f"series must be (T, N), got {series.shape}")
+    if window < 2:
+        raise ValueError(f"window must be >= 2, got {window}")
+    total, nodes = series.shape
+    # Cumulative-sum formulation: E[x^2] - E[x]^2 over the trailing window.
+    # Centering each node first keeps the subtraction well-conditioned
+    # (variance is shift-invariant; without this, constant series produce
+    # sqrt(cancellation noise) instead of exactly zero).
+    series = series - series.mean(axis=0, keepdims=True)
+    cumsum = np.vstack([np.zeros((1, nodes)), np.cumsum(series, axis=0)])
+    cumsq = np.vstack([np.zeros((1, nodes)), np.cumsum(series ** 2, axis=0)])
+    out = np.empty_like(series)
+    for t in range(total):
+        lo = max(0, t - window + 1)
+        count = t + 1 - lo
+        mean = (cumsum[t + 1] - cumsum[lo]) / count
+        mean_sq = (cumsq[t + 1] - cumsq[lo]) / count
+        out[t] = np.sqrt(np.maximum(mean_sq - mean ** 2, 0.0))
+    return out
+
+
+def difficult_mask(series: np.ndarray, window: int = 6,
+                   quantile: float = 0.75) -> np.ndarray:
+    """Boolean ``(T, N)`` mask of upper-quantile moving-std intervals.
+
+    The threshold is computed per node, so every sensor contributes its own
+    most volatile quarter — a flat suburban detector does not get drowned
+    out by a volatile downtown one.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+    volatility = moving_std(series, window)
+    thresholds = np.quantile(volatility, quantile, axis=0, keepdims=True)
+    return volatility >= thresholds
+
+
+def prediction_mask(mask: np.ndarray, start_index: np.ndarray,
+                    horizon: int) -> np.ndarray:
+    """Align a ``(T, N)`` interval mask with windowed predictions.
+
+    Returns ``(S, horizon, N)`` booleans: sample ``s``, step ``k`` is kept
+    when the series position ``start_index[s] + k`` is inside a difficult
+    interval.  Windows whose targets run past the series end are an error
+    (they should not exist).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    start_index = np.asarray(start_index, dtype=int)
+    total = mask.shape[0]
+    if (start_index + horizon > total).any():
+        raise ValueError("a window's target range runs past the series end")
+    offsets = start_index[:, None] + np.arange(horizon)[None, :]   # (S, T)
+    return mask[offsets]            # (S, horizon, N)
+
+
+def interval_segments(mask_column: np.ndarray) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` runs of True in a 1-D boolean mask.
+
+    Useful for plotting the blue shaded regions of the paper's Fig. 3.
+    """
+    mask_column = np.asarray(mask_column, dtype=bool)
+    if mask_column.ndim != 1:
+        raise ValueError("expected a 1-D mask column")
+    edges = np.flatnonzero(np.diff(mask_column.astype(np.int8)))
+    starts = list(edges[mask_column[edges + 1]] + 1)
+    stops = list(edges[~mask_column[edges + 1]] + 1)
+    if mask_column[0]:
+        starts.insert(0, 0)
+    if mask_column[-1]:
+        stops.append(len(mask_column))
+    return list(zip(starts, stops))

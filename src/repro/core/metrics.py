@@ -1,0 +1,104 @@
+"""Evaluation metrics (paper Sec. V): masked MAE, RMSE, MAPE.
+
+All metrics ignore entries where the ground truth equals ``null_value``
+(0 by PeMS convention — missing detector readings), and accept an optional
+boolean ``mask`` restricting evaluation to chosen entries (used by the
+difficult-interval experiment).  Horizon aggregation follows the paper:
+15-, 30- and 60-minute predictions are steps 3, 6 and 12 of the forecast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["mae", "rmse", "mape", "HorizonMetrics", "evaluate_horizons",
+           "HORIZON_STEPS"]
+
+# minutes -> 1-based forecast step at 5-minute resolution
+HORIZON_STEPS = {15: 3, 30: 6, 60: 12}
+
+
+def _valid_mask(target: np.ndarray, null_value: float | None,
+                mask: np.ndarray | None) -> np.ndarray:
+    valid = np.ones(target.shape, dtype=bool)
+    if null_value is not None:
+        valid &= ~np.isclose(target, null_value)
+    if mask is not None:
+        valid &= np.asarray(mask, dtype=bool)
+    return valid
+
+
+def mae(prediction: np.ndarray, target: np.ndarray,
+        null_value: float | None = 0.0, mask: np.ndarray | None = None) -> float:
+    """Mean absolute error over valid entries (NaN if none are valid)."""
+    valid = _valid_mask(target, null_value, mask)
+    if not valid.any():
+        return float("nan")
+    return float(np.abs(prediction[valid] - target[valid]).mean())
+
+
+def rmse(prediction: np.ndarray, target: np.ndarray,
+         null_value: float | None = 0.0, mask: np.ndarray | None = None) -> float:
+    """Root mean squared error over valid entries."""
+    valid = _valid_mask(target, null_value, mask)
+    if not valid.any():
+        return float("nan")
+    return float(np.sqrt(np.square(prediction[valid] - target[valid]).mean()))
+
+
+def mape(prediction: np.ndarray, target: np.ndarray,
+         null_value: float | None = 0.0, mask: np.ndarray | None = None) -> float:
+    """Mean absolute percentage error (in %), excluding zero targets."""
+    valid = _valid_mask(target, null_value, mask)
+    valid &= ~np.isclose(target, 0.0)
+    if not valid.any():
+        return float("nan")
+    ratio = np.abs((prediction[valid] - target[valid]) / target[valid])
+    return float(ratio.mean() * 100.0)
+
+
+@dataclass
+class HorizonMetrics:
+    """MAE/RMSE/MAPE for one prediction horizon."""
+
+    mae: float
+    rmse: float
+    mape: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {"mae": self.mae, "rmse": self.rmse, "mape": self.mape}
+
+
+def evaluate_horizons(prediction: np.ndarray, target: np.ndarray,
+                      null_value: float | None = 0.0,
+                      mask: np.ndarray | None = None,
+                      horizons: dict[int, int] | None = None
+                      ) -> dict[int, HorizonMetrics]:
+    """Per-horizon metrics for ``(S, T, N)`` predictions vs. targets.
+
+    Parameters
+    ----------
+    horizons:
+        Mapping of label (minutes) to 1-based forecast step; defaults to the
+        paper's 15/30/60-minute protocol.
+    mask:
+        Optional ``(S, T, N)`` boolean mask (difficult intervals).
+    """
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: prediction {prediction.shape} vs target {target.shape}")
+    horizons = horizons or HORIZON_STEPS
+    results: dict[int, HorizonMetrics] = {}
+    for minutes, step in horizons.items():
+        if step > prediction.shape[1]:
+            raise ValueError(
+                f"horizon step {step} exceeds forecast length {prediction.shape[1]}")
+        index = step - 1
+        step_mask = None if mask is None else mask[:, index]
+        results[minutes] = HorizonMetrics(
+            mae=mae(prediction[:, index], target[:, index], null_value, step_mask),
+            rmse=rmse(prediction[:, index], target[:, index], null_value, step_mask),
+            mape=mape(prediction[:, index], target[:, index], null_value, step_mask))
+    return results

@@ -1,0 +1,109 @@
+"""Recurring vs. non-recurring pattern analysis (extension).
+
+The paper's introduction distinguishes *recurring* congestion (daily rush
+hours) from *non-recurring* events (incidents) and notes that difficult
+intervals mix both; its conclusion calls for research into why model
+performance differs by traffic pattern.  This module makes that analysis
+runnable: difficult intervals are classified as recurring when the same
+sensor is also volatile at the same time of day on most other days, and
+non-recurring otherwise, and models can be scored separately on each class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .intervals import difficult_mask
+from .metrics import HorizonMetrics, evaluate_horizons
+
+__all__ = ["PatternMasks", "classify_intervals", "evaluate_patterns"]
+
+STEPS_PER_DAY = 288
+
+
+@dataclass
+class PatternMasks:
+    """Per-(step, sensor) boolean masks splitting difficult intervals."""
+
+    difficult: np.ndarray      # all difficult intervals
+    recurring: np.ndarray      # difficult & typical for that time of day
+    non_recurring: np.ndarray  # difficult & atypical (incident-like)
+
+    @property
+    def recurring_fraction(self) -> float:
+        total = self.difficult.sum()
+        return float(self.recurring.sum() / total) if total else 0.0
+
+
+def classify_intervals(series: np.ndarray, window: int = 6,
+                       quantile: float = 0.75,
+                       recurrence_threshold: float = 0.5,
+                       steps_per_day: int = STEPS_PER_DAY) -> PatternMasks:
+    """Split difficult intervals into recurring and non-recurring.
+
+    A difficult (step, sensor) cell is *recurring* when at least
+    ``recurrence_threshold`` of the other days are also difficult for that
+    sensor at the same time of day — rush hours recur daily; incidents do
+    not.
+
+    Parameters
+    ----------
+    series:
+        ``(T, N)`` raw measurements.
+    steps_per_day:
+        Slots per day (288 at 5-minute resolution).
+    """
+    hard = difficult_mask(series, window=window, quantile=quantile)
+    total, nodes = hard.shape
+    num_days = int(np.ceil(total / steps_per_day))
+    if num_days < 2:
+        # With a single day there is no notion of recurrence.
+        return PatternMasks(difficult=hard,
+                            recurring=np.zeros_like(hard),
+                            non_recurring=hard.copy())
+
+    # Fraction of days on which each (slot, sensor) is difficult.
+    padded = np.zeros((num_days * steps_per_day, nodes), dtype=bool)
+    padded[:total] = hard
+    by_day = padded.reshape(num_days, steps_per_day, nodes)
+    counts = by_day.sum(axis=0).astype(float)           # (slot, N)
+    days_covering = np.zeros((steps_per_day, nodes))
+    for day in range(num_days):
+        start = day * steps_per_day
+        cover = min(steps_per_day, max(0, total - start))
+        days_covering[:cover] += 1
+    with np.errstate(invalid="ignore", divide="ignore"):
+        frequency = np.where(days_covering > 0, counts / days_covering, 0.0)
+
+    slot_index = np.arange(total) % steps_per_day
+    # For each difficult cell, how often the *other* days share it.
+    own = hard.astype(float)
+    others = np.where(days_covering[slot_index] > 1,
+                      (counts[slot_index] - own)
+                      / np.maximum(days_covering[slot_index] - 1, 1),
+                      0.0)
+    recurring = hard & (others >= recurrence_threshold)
+    return PatternMasks(difficult=hard, recurring=recurring,
+                        non_recurring=hard & ~recurring)
+
+
+def evaluate_patterns(prediction: np.ndarray, target: np.ndarray,
+                      masks: PatternMasks, start_index: np.ndarray
+                      ) -> dict[str, dict[int, HorizonMetrics]]:
+    """Per-pattern-class horizon metrics for windowed predictions.
+
+    Returns metrics keyed ``"difficult"``, ``"recurring"``,
+    ``"non_recurring"`` — classes with no valid cells yield NaN metrics.
+    """
+    from .intervals import prediction_mask
+
+    horizon = prediction.shape[1]
+    out: dict[str, dict[int, HorizonMetrics]] = {}
+    for label, mask in (("difficult", masks.difficult),
+                        ("recurring", masks.recurring),
+                        ("non_recurring", masks.non_recurring)):
+        aligned = prediction_mask(mask, start_index, horizon)
+        out[label] = evaluate_horizons(prediction, target, mask=aligned)
+    return out

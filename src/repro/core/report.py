@@ -1,0 +1,137 @@
+"""Render paper-style tables from aggregated results.
+
+Each function prints the rows/series of one of the paper's artefacts:
+
+- :func:`fig1_table` — model × horizon accuracy for one dataset (Fig. 1)
+- :func:`table3` — computation time & parameters (Table III)
+- :func:`fig2_table` — difficult-interval MAE + degradation % (Fig. 2)
+- :func:`fig3_series` — per-road prediction traces (Fig. 3)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .results import AggregateResult
+
+__all__ = ["fig1_table", "table3", "fig2_table", "fig3_series",
+           "format_table"]
+
+
+def format_table(headers: list[str], rows: list[list[str]],
+                 style: str = "plain") -> str:
+    """Render a table as aligned ``plain`` text, ``markdown``, or ``csv``."""
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+    if style == "csv":
+        def escape(cell: str) -> str:
+            return f'"{cell}"' if ("," in cell or '"' in cell) else cell
+        lines = [",".join(escape(h) for h in headers)]
+        lines += [",".join(escape(c) for c in row) for row in rows]
+        return "\n".join(lines)
+
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    if style == "markdown":
+        lines = ["| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+                 + " |"]
+        lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+        for row in rows:
+            lines.append("| " + " | ".join(
+                c.ljust(w) for c, w in zip(row, widths)) + " |")
+        return "\n".join(lines)
+
+    if style != "plain":
+        raise ValueError(f"unknown style {style!r}; "
+                         "choose plain, markdown, or csv")
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fig1_table(results: list[AggregateResult], dataset: str,
+               metrics: tuple[str, ...] = ("mae", "rmse", "mape")) -> str:
+    """Fig. 1 rows for one dataset: model × (horizon, metric), mean±std."""
+    rows = []
+    subset = [r for r in results if r.dataset_name == dataset]
+    if not subset:
+        raise ValueError(f"no results for dataset {dataset!r}")
+    horizons = sorted(subset[0].full)
+    headers = ["model"] + [f"{metric.upper()}@{minutes}m"
+                           for minutes in horizons for metric in metrics]
+    for result in subset:
+        row = [result.model_name]
+        for minutes in horizons:
+            for metric in metrics:
+                row.append(str(result.metric(minutes, metric)))
+        rows.append(row)
+    return f"Fig.1 [{dataset}]\n" + format_table(headers, rows)
+
+
+def table3(results: list[AggregateResult], dataset: str = "metr-la") -> str:
+    """Table III: training time/epoch, inference time, parameter count."""
+    subset = [r for r in results if r.dataset_name == dataset]
+    if not subset:
+        raise ValueError(f"no results for dataset {dataset!r}")
+    headers = ["model", "train s/epoch", "inference s", "# params"]
+    rows = []
+    for result in subset:
+        rows.append([
+            result.model_name,
+            f"{result.train_time_per_epoch.mean:.2f}",
+            f"{result.inference_seconds.mean:.2f}",
+            f"{result.num_parameters / 1000.0:.1f}k",
+        ])
+    return f"Table III [{dataset}]\n" + format_table(headers, rows)
+
+
+def fig2_table(results: list[AggregateResult], dataset: str = "metr-la") -> str:
+    """Fig. 2: MAE on difficult intervals and relative degradation (%)."""
+    subset = [r for r in results if r.dataset_name == dataset]
+    if not subset:
+        raise ValueError(f"no results for dataset {dataset!r}")
+    horizons = sorted(subset[0].full)
+    headers = (["model"]
+               + [f"hardMAE@{m}m" for m in horizons]
+               + [f"degr%@{m}m" for m in horizons])
+    rows = []
+    for result in subset:
+        row = [result.model_name]
+        for minutes in horizons:
+            row.append(str(result.metric(minutes, "mae", difficult=True)))
+        for minutes in horizons:
+            row.append(f"{result.degradation[minutes].mean:+.1f}%")
+        rows.append(row)
+    return f"Fig.2 [{dataset}] difficult intervals\n" + format_table(headers, rows)
+
+
+def fig3_series(truth: np.ndarray, prediction: np.ndarray,
+                segments: list[tuple[int, int]], road: int,
+                max_points: int = 48) -> str:
+    """Fig. 3 per-road trace: truth vs prediction with interval markers.
+
+    Prints one line per time step (up to ``max_points``): value columns and
+    a ``*`` marker for steps inside a difficult interval.
+    """
+    truth = np.asarray(truth, dtype=float)
+    prediction = np.asarray(prediction, dtype=float)
+    if truth.shape != prediction.shape:
+        raise ValueError("truth/prediction length mismatch")
+    flags = np.zeros(len(truth), dtype=bool)
+    for start, stop in segments:
+        flags[start:stop] = True
+    lines = [f"Fig.3 road {road}: truth vs prediction "
+             f"(MAE={np.abs(truth - prediction).mean():.2f})"]
+    lines.append(f"{'t':>4} {'truth':>8} {'pred':>8} hard")
+    step = max(1, len(truth) // max_points)
+    for t in range(0, len(truth), step):
+        marker = "*" if flags[t] else ""
+        lines.append(f"{t:>4} {truth[t]:>8.2f} {prediction[t]:>8.2f} {marker:>4}")
+    return "\n".join(lines)

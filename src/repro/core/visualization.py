@@ -1,0 +1,86 @@
+"""Terminal visualisation helpers: sparklines and simple line charts.
+
+The paper's figures are matplotlib plots; in a headless benchmark the same
+information renders as unicode sparklines (for dashboards/logs) and block
+charts, keeping the repository free of plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparkline", "ascii_chart", "horizon_bars"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_BAR = "█"
+
+
+def sparkline(values, width: int | None = None) -> str:
+    """Render a series as a unicode sparkline.
+
+    ``width`` optionally downsamples (by averaging buckets) to a fixed
+    number of characters.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("sparkline expects a 1-D series")
+    if values.size == 0:
+        return ""
+    if not np.isfinite(values).any():
+        return " " * (width if width is not None and values.size > width
+                      else values.size)
+    if width is not None and values.size > width:
+        buckets = np.array_split(values, width)
+        values = np.array([np.nanmean(b) for b in buckets])
+    finite = values[np.isfinite(values)]
+    low, high = finite.min(), finite.max()
+    span = high - low
+    if span == 0:
+        return _SPARK_LEVELS[0] * values.size
+    chars = []
+    for value in values:
+        if not np.isfinite(value):
+            chars.append(" ")
+            continue
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def ascii_chart(series: dict[str, np.ndarray], width: int = 60) -> str:
+    """One labelled sparkline per named series, with min/max annotations."""
+    if not series:
+        return ""
+    label_width = max(len(name) for name in series)
+    lines = []
+    for name, values in series.items():
+        values = np.asarray(values, dtype=float)
+        spark = sparkline(values, width)
+        finite = values[np.isfinite(values)]
+        low = finite.min() if finite.size else float("nan")
+        high = finite.max() if finite.size else float("nan")
+        lines.append(f"{name.ljust(label_width)}  {spark}  "
+                     f"[{low:.2f}, {high:.2f}]")
+    return "\n".join(lines)
+
+
+def horizon_bars(metrics: dict[str, dict[int, float]], width: int = 40) -> str:
+    """Horizontal bar chart: one bar per (model, horizon) metric value.
+
+    ``metrics`` maps model name -> {horizon minutes -> value}.
+    """
+    if not metrics:
+        return ""
+    peak = max(value for row in metrics.values() for value in row.values())
+    if peak <= 0 or not np.isfinite(peak):
+        peak = 1.0
+    label_width = max(len(name) for name in metrics)
+    lines = []
+    for name, row in metrics.items():
+        for minutes in sorted(row):
+            value = row[minutes]
+            filled = int(round(value / peak * width)) if np.isfinite(value) else 0
+            lines.append(f"{name.ljust(label_width)} {minutes:>3}m "
+                         f"{_BAR * filled}{' ' * (width - filled)} "
+                         f"{value:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Speed–flow relations (Greenshields fundamental diagram).
+
+The flow datasets in the paper (PeMSD3/4/7/8) measure vehicle counts; the
+speed datasets (METR-LA, PeMS-BAY, PeMSD7(M)) measure velocities.  Both are
+projections of the same traffic state.  The simulator tracks a normalised
+density ``x = k / k_jam`` per sensor and derives:
+
+- speed: ``v = v_f * (1 - x)`` (Greenshields linear speed–density)
+- flow:  ``q = q_max * 4x(1 - x)`` (the resulting parabolic flow–density)
+
+so the correlation-but-not-identity between speed and flow noted in the
+paper's Sec. VI ("speed and flow are correlated but do not have exactly the
+same tendencies", citing the Highway Capacity Manual) emerges naturally:
+flow *rises* with density until capacity then falls, while speed falls
+monotonically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["speed_from_density", "flow_from_density", "density_from_speed"]
+
+
+def speed_from_density(density: np.ndarray, free_flow_speed: np.ndarray) -> np.ndarray:
+    """Greenshields speed: ``v = v_f (1 - x)`` with x clipped to [0, 0.95]."""
+    x = np.clip(density, 0.0, 0.95)
+    return free_flow_speed * (1.0 - x)
+
+
+def flow_from_density(density: np.ndarray, capacity: np.ndarray) -> np.ndarray:
+    """Parabolic flow: ``q = q_max 4x(1-x)``, peaking at x = 1/2."""
+    x = np.clip(density, 0.0, 1.0)
+    return capacity * 4.0 * x * (1.0 - x)
+
+
+def density_from_speed(speed: np.ndarray, free_flow_speed: np.ndarray) -> np.ndarray:
+    """Invert Greenshields: ``x = 1 - v / v_f``."""
+    ratio = np.clip(speed / np.maximum(free_flow_speed, 1e-9), 0.0, 1.0)
+    return 1.0 - ratio

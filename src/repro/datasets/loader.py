@@ -1,0 +1,46 @@
+"""Mini-batch iteration over supervised splits."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .windows import SupervisedSplit
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterates ``(x, y, start_index)`` mini-batches.
+
+    Shuffling uses its own generator so epoch order is reproducible per seed
+    independently of model-weight randomness.
+    """
+
+    def __init__(self, split: SupervisedSplit, batch_size: int = 64,
+                 shuffle: bool = False, seed: int = 0, drop_last: bool = False):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.split = split
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = self.split.num_samples
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        n = self.split.num_samples
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for lo in range(0, stop, self.batch_size):
+            index = order[lo:lo + self.batch_size]
+            yield (self.split.x[index], self.split.y[index],
+                   self.split.start_index[index])

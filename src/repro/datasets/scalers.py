@@ -1,0 +1,78 @@
+"""Feature scalers (paper Sec. V: z-score for traffic, min-max for time)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler:
+    """Z-score normalisation fit on non-null entries of the training split.
+
+    PeMS missing readings are stored as 0 and must not bias the statistics,
+    so entries equal to ``null_value`` are excluded from fitting.
+    """
+
+    def __init__(self, null_value: float | None = 0.0):
+        self.null_value = null_value
+        self.mean: float | None = None
+        self.std: float | None = None
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        data = np.asarray(values, dtype=float)
+        if self.null_value is not None:
+            data = data[~np.isclose(data, self.null_value)]
+        if data.size == 0:
+            raise ValueError("no valid entries to fit scaler")
+        self.mean = float(data.mean())
+        self.std = float(data.std())
+        if self.std == 0:
+            self.std = 1.0
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (np.asarray(values, dtype=float) - self.mean) / self.std
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(values, dtype=float) * self.std + self.mean
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def _check_fitted(self) -> None:
+        if self.mean is None:
+            raise RuntimeError("scaler used before fit()")
+
+
+class MinMaxScaler:
+    """Scale to [0, 1] from the training range."""
+
+    def __init__(self):
+        self.low: float | None = None
+        self.high: float | None = None
+
+    def fit(self, values: np.ndarray) -> "MinMaxScaler":
+        data = np.asarray(values, dtype=float)
+        if data.size == 0:
+            raise ValueError("no entries to fit scaler")
+        self.low = float(data.min())
+        self.high = float(data.max())
+        if self.high == self.low:
+            self.high = self.low + 1.0
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if self.low is None:
+            raise RuntimeError("scaler used before fit()")
+        return (np.asarray(values, dtype=float) - self.low) / (self.high - self.low)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        if self.low is None:
+            raise RuntimeError("scaler used before fit()")
+        return np.asarray(values, dtype=float) * (self.high - self.low) + self.low
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)

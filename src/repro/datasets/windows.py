@@ -1,0 +1,148 @@
+"""Sliding-window supervised dataset construction (paper Sec. IV-B, V).
+
+The forecasting task maps T'=12 historical graph signals to the next T=12
+signals.  Inputs carry two features per node and step — the z-scored traffic
+value and the min-max normalised time of day — exactly the preprocessing
+described in the paper.  Splits are chronological at a 7:1:2 ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .scalers import MinMaxScaler, StandardScaler
+
+__all__ = ["WindowConfig", "SupervisedSplit", "SupervisedDataset", "make_windows"]
+
+
+@dataclass
+class WindowConfig:
+    history: int = 12        # T'
+    horizon: int = 12        # T
+    train_ratio: float = 0.7
+    val_ratio: float = 0.1   # test gets the remainder (0.2)
+    # Optional third input feature (day-of-week / 6), as used by GMAN's
+    # original temporal embedding; the paper's protocol uses two features.
+    include_day_of_week: bool = False
+
+
+@dataclass
+class SupervisedSplit:
+    """One split of windowed samples.
+
+    Attributes
+    ----------
+    x:
+        ``(S, T', N, 2)`` inputs — feature 0 is the scaled traffic value,
+        feature 1 the normalised time of day.
+    y:
+        ``(S, T, N)`` targets in *original* units (metrics are computed in
+        original units; models predict scaled values that the experiment
+        runner inverse-transforms).
+    start_index:
+        ``(S,)`` index into the full series of each window's first target
+        step — used to align predictions with difficult-interval masks.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    start_index: np.ndarray
+
+    @property
+    def num_samples(self) -> int:
+        return self.x.shape[0]
+
+
+@dataclass
+class SupervisedDataset:
+    """Windowed dataset with its scalers and raw series."""
+
+    train: SupervisedSplit
+    val: SupervisedSplit
+    test: SupervisedSplit
+    scaler: StandardScaler
+    time_scaler: MinMaxScaler
+    series: np.ndarray        # (T_total, N) raw traffic values
+    config: WindowConfig
+
+    @property
+    def num_nodes(self) -> int:
+        return self.series.shape[1]
+
+
+def make_windows(series: np.ndarray, time_of_day: np.ndarray,
+                 config: WindowConfig | None = None,
+                 null_value: float | None = 0.0,
+                 day_of_week: np.ndarray | None = None) -> SupervisedDataset:
+    """Build chronological train/val/test windows from a raw series.
+
+    Parameters
+    ----------
+    series:
+        ``(T_total, N)`` raw measurements (speed in mph or flow in veh/5min),
+        with missing entries as ``null_value``.
+    time_of_day:
+        ``(T_total,)`` fraction of day in [0, 1).
+    day_of_week:
+        ``(T_total,)`` integers 0–6; required when
+        ``config.include_day_of_week`` is set.
+    """
+    config = config or WindowConfig()
+    series = np.asarray(series, dtype=float)
+    time_of_day = np.asarray(time_of_day, dtype=float)
+    if series.ndim != 2:
+        raise ValueError(f"series must be (T, N), got shape {series.shape}")
+    if len(time_of_day) != len(series):
+        raise ValueError("time_of_day length must match series length")
+    if config.include_day_of_week:
+        if day_of_week is None:
+            raise ValueError(
+                "include_day_of_week requires the day_of_week array")
+        day_of_week = np.asarray(day_of_week, dtype=float)
+        if len(day_of_week) != len(series):
+            raise ValueError("day_of_week length must match series length")
+    total = len(series)
+    window = config.history + config.horizon
+    if total < window + 10:
+        raise ValueError(
+            f"series of length {total} too short for window {window}")
+
+    train_end = int(total * config.train_ratio)
+    val_end = int(total * (config.train_ratio + config.val_ratio))
+
+    scaler = StandardScaler(null_value=null_value).fit(series[:train_end])
+    time_scaler = MinMaxScaler().fit(time_of_day[:train_end])
+    scaled = scaler.transform(series)
+    scaled_time = time_scaler.transform(time_of_day)
+
+    def build(start: int, end: int) -> SupervisedSplit:
+        starts = np.arange(start, end - window + 1)
+        if len(starts) == 0:
+            raise ValueError(
+                f"split [{start}, {end}) too short for window {window}")
+        xs, ys, first_targets = [], [], []
+        for s in starts:
+            hist = slice(s, s + config.history)
+            fut = slice(s + config.history, s + window)
+            x_traffic = scaled[hist]                       # (T', N)
+            x_time = np.broadcast_to(scaled_time[hist][:, None],
+                                     x_traffic.shape)
+            features = [x_traffic, x_time]
+            if config.include_day_of_week:
+                x_dow = np.broadcast_to(
+                    (day_of_week[hist] / 6.0)[:, None], x_traffic.shape)
+                features.append(x_dow)
+            xs.append(np.stack(features, axis=-1))
+            ys.append(series[fut])
+            first_targets.append(s + config.history)
+        return SupervisedSplit(x=np.array(xs), y=np.array(ys),
+                               start_index=np.array(first_targets))
+
+    return SupervisedDataset(
+        train=build(0, train_end),
+        val=build(train_end, val_end),
+        test=build(val_end, total),
+        scaler=scaler, time_scaler=time_scaler,
+        series=series, config=config)

@@ -1,0 +1,76 @@
+"""Spectral and diffusion graph operators.
+
+Two families are needed (paper Table II):
+
+- *Spectral* GCNs (STGCN, ASTGCN) convolve with Chebyshev polynomials of the
+  scaled Laplacian ``L~ = 2L/lambda_max - I``.
+- *Spatial* GCNs (DCRNN, Graph-WaveNet, STSGCN, STG2Seq) use random-walk
+  transition matrices ``D_O^-1 W`` (forward) and ``D_I^-1 W^T`` (backward).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "normalized_laplacian", "scaled_laplacian", "chebyshev_polynomials",
+    "random_walk_matrix", "reverse_random_walk_matrix", "dual_random_walk",
+]
+
+
+def normalized_laplacian(adjacency: np.ndarray) -> np.ndarray:
+    """Symmetric normalised Laplacian ``I - D^-1/2 W D^-1/2``.
+
+    The adjacency is symmetrised first (spectral theory needs symmetric W).
+    """
+    weights = np.maximum(adjacency, adjacency.T)
+    degree = weights.sum(axis=1)
+    inv_sqrt = np.where(degree > 0, 1.0 / np.sqrt(np.where(degree > 0, degree, 1.0)), 0.0)
+    lap = -weights * inv_sqrt[:, None] * inv_sqrt[None, :]
+    np.fill_diagonal(lap, 1.0 + np.diag(lap))
+    return lap
+
+
+def scaled_laplacian(adjacency: np.ndarray, lambda_max: float | None = None) -> np.ndarray:
+    """``2L/lambda_max - I`` with eigenvalues in [-1, 1]."""
+    lap = normalized_laplacian(adjacency)
+    if lambda_max is None:
+        eigenvalues = np.linalg.eigvalsh((lap + lap.T) / 2.0)
+        lambda_max = float(eigenvalues.max())
+    if lambda_max <= 0:
+        lambda_max = 2.0
+    return 2.0 * lap / lambda_max - np.eye(lap.shape[0])
+
+
+def chebyshev_polynomials(adjacency: np.ndarray, order: int) -> list[np.ndarray]:
+    """Chebyshev basis ``T_0..T_{order-1}`` of the scaled Laplacian.
+
+    ``order`` is K in the papers (K-hop receptive field).
+    """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    scaled = scaled_laplacian(adjacency)
+    n = scaled.shape[0]
+    polys = [np.eye(n)]
+    if order >= 2:
+        polys.append(scaled)
+    for _ in range(2, order):
+        polys.append(2.0 * scaled @ polys[-1] - polys[-2])
+    return polys
+
+
+def random_walk_matrix(adjacency: np.ndarray) -> np.ndarray:
+    """Forward transition matrix ``D_O^-1 W``."""
+    degree = adjacency.sum(axis=1)
+    inv = np.where(degree > 0, 1.0 / np.where(degree > 0, degree, 1.0), 0.0)
+    return adjacency * inv[:, None]
+
+
+def reverse_random_walk_matrix(adjacency: np.ndarray) -> np.ndarray:
+    """Backward transition matrix ``D_I^-1 W^T`` (reverse diffusion)."""
+    return random_walk_matrix(adjacency.T)
+
+
+def dual_random_walk(adjacency: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(forward, backward) diffusion supports used by DCRNN/Graph-WaveNet."""
+    return random_walk_matrix(adjacency), reverse_random_walk_matrix(adjacency)

@@ -1,0 +1,42 @@
+"""The eight benchmark models (paper Sec. IV-A) plus naive baselines.
+
+Importing this package registers every model; use
+:func:`repro.models.create_model` to instantiate by name:
+
+- ``stgcn`` — spectral GCN + gated temporal conv, many-to-one
+- ``dcrnn`` — diffusion-convolutional GRU seq2seq
+- ``astgcn`` — attention-modulated Chebyshev GCN
+- ``st-metanet`` — meta-learned GRU/GAT seq2seq
+- ``graph-wavenet`` — dilated TCN + adaptive-adjacency diffusion GCN
+- ``stg2seq`` — gated graph-conv sequence model with attention output
+- ``stsgcn`` — spatial-temporal synchronous GCN, per-step heads
+- ``gman`` — graph multi-attention with transform attention
+- baselines: ``last-value``, ``historical-average``, ``linear``
+"""
+
+from .astgcn import ASTGCN
+from .base import (MODEL_REGISTRY, TrafficModel, create_model, model_names,
+                   register_model)
+from .baselines import HistoricalAverage, LastValue, LinearRegression
+from .dcrnn import DCRNN
+from .fclstm import FCLSTM
+from .gman import GMAN
+from .graph_conv import ChebConv, DiffusionConv, cheb_supports, diffusion_supports
+from .graph_wavenet import GraphWaveNet
+from .gru_seq2seq import GRUSeq2Seq
+from .stg2seq import STG2Seq
+from .stgcn import STGCN
+from .stmetanet import STMetaNet
+from .stsgcn import STSGCN
+
+PAPER_MODELS = ("stgcn", "dcrnn", "astgcn", "st-metanet", "graph-wavenet",
+                "stg2seq", "stsgcn", "gman")
+
+__all__ = [
+    "TrafficModel", "create_model", "model_names", "register_model",
+    "MODEL_REGISTRY", "PAPER_MODELS",
+    "STGCN", "DCRNN", "ASTGCN", "STMetaNet", "GraphWaveNet", "STG2Seq",
+    "STSGCN", "GMAN", "GRUSeq2Seq", "FCLSTM",
+    "LastValue", "HistoricalAverage", "LinearRegression",
+    "ChebConv", "DiffusionConv", "cheb_supports", "diffusion_supports",
+]

@@ -1,0 +1,28 @@
+"""`repro.nn` — a from-scratch numpy deep-learning framework.
+
+This replaces PyTorch in the reproduction (see DESIGN.md).  The public
+surface mirrors the torch layout:
+
+- :class:`Tensor` with reverse-mode autodiff (:mod:`repro.nn.tensor`)
+- functional ops (:mod:`repro.nn.functional`)
+- :class:`Module`/:class:`Parameter` (:mod:`repro.nn.module`)
+- layers (:mod:`repro.nn.layers`)
+- optimizers (:mod:`repro.nn.optim`)
+- masked losses (:mod:`repro.nn.losses`)
+"""
+
+from . import checkpoint, functional, gradcheck, init, losses, optim, profiler, summary
+from .layers import (BatchNorm, Conv1d, Conv2d, Dropout, Embedding, GRU,
+                     GRUCell, GraphAttention, LSTM, LSTMCell, LayerNorm,
+                     Linear, MultiHeadAttention)
+from .module import Module, ModuleList, Parameter, Sequential
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled",
+    "Module", "Parameter", "Sequential", "ModuleList",
+    "Linear", "Conv1d", "Conv2d", "GRU", "GRUCell", "LSTM", "LSTMCell",
+    "MultiHeadAttention", "GraphAttention",
+    "LayerNorm", "BatchNorm", "Embedding", "Dropout",
+    "functional", "init", "losses", "optim", "checkpoint", "profiler", "summary", "gradcheck",
+]

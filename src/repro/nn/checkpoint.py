@@ -1,0 +1,82 @@
+"""Training checkpoints: persist model + optimizer state, resume training.
+
+Paper-scale runs (hundreds of epochs on 200+ sensors) need restartability;
+a :class:`Checkpoint` bundles the model state dict, the optimizer's moment
+buffers, and arbitrary metadata (epoch counter, best validation score) in
+one ``.npz`` archive.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+from .optim.adam import Adam
+from .optim.optimizer import Optimizer
+from .optim.sgd import SGD
+
+__all__ = ["save_checkpoint", "load_checkpoint", "optimizer_state",
+           "load_optimizer_state"]
+
+
+def optimizer_state(optimizer: Optimizer) -> dict[str, np.ndarray]:
+    """Extract an optimizer's mutable buffers as a flat dict."""
+    state: dict[str, np.ndarray] = {"lr": np.asarray(optimizer.lr)}
+    if isinstance(optimizer, Adam):
+        state["step_count"] = np.asarray(optimizer._step_count)
+        for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+            state[f"m{i}"] = m
+            state[f"v{i}"] = v
+    elif isinstance(optimizer, SGD):
+        for i, velocity in enumerate(optimizer._velocity):
+            state[f"velocity{i}"] = velocity
+    return state
+
+
+def load_optimizer_state(optimizer: Optimizer,
+                         state: dict[str, np.ndarray]) -> None:
+    """Restore buffers extracted by :func:`optimizer_state` (in place)."""
+    optimizer.lr = float(state["lr"])
+    if isinstance(optimizer, Adam):
+        optimizer._step_count = int(state["step_count"])
+        for i in range(len(optimizer.parameters)):
+            optimizer._m[i][...] = state[f"m{i}"]
+            optimizer._v[i][...] = state[f"v{i}"]
+    elif isinstance(optimizer, SGD):
+        for i in range(len(optimizer.parameters)):
+            optimizer._velocity[i][...] = state[f"velocity{i}"]
+
+
+def save_checkpoint(path: str | Path, model: Module,
+                    optimizer: Optimizer | None = None,
+                    metadata: dict | None = None) -> None:
+    """Write model (+ optional optimizer) state and JSON metadata."""
+    payload: dict[str, np.ndarray] = {}
+    for key, value in model.state_dict().items():
+        payload[f"model/{key}"] = value
+    if optimizer is not None:
+        for key, value in optimizer_state(optimizer).items():
+            payload[f"optim/{key}"] = value
+    meta_blob = json.dumps(metadata or {}).encode()
+    payload["metadata"] = np.frombuffer(meta_blob, dtype=np.uint8)
+    np.savez(path, **payload)
+
+
+def load_checkpoint(path: str | Path, model: Module,
+                    optimizer: Optimizer | None = None) -> dict:
+    """Restore model (+ optional optimizer); returns the metadata dict."""
+    with np.load(path) as archive:
+        model_state = {key[len("model/"):]: archive[key]
+                       for key in archive.files if key.startswith("model/")}
+        model.load_state_dict(model_state)
+        if optimizer is not None:
+            optim_state = {key[len("optim/"):]: archive[key]
+                           for key in archive.files if key.startswith("optim/")}
+            if not optim_state:
+                raise KeyError("checkpoint contains no optimizer state")
+            load_optimizer_state(optimizer, optim_state)
+        metadata = json.loads(bytes(archive["metadata"]).decode())
+    return metadata

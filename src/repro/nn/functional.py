@@ -1,0 +1,271 @@
+"""Functional operations on :class:`~repro.nn.tensor.Tensor`.
+
+These are the ops that do not fit naturally as tensor methods: multi-input
+ops (``concat``, ``stack``, ``where``, ``einsum``), normalised activations
+(``softmax``, ``log_softmax``), convolution kernels (im2col-based), and
+stochastic ops (``dropout``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled, unbroadcast
+
+__all__ = [
+    "relu", "leaky_relu", "sigmoid", "tanh", "softmax", "log_softmax", "gelu",
+    "concat", "stack", "split", "where", "einsum", "dropout",
+    "conv2d", "conv1d", "unfold2d", "huber",
+]
+
+
+# --------------------------------------------------------------------- #
+# thin wrappers so models can use a functional style
+# --------------------------------------------------------------------- #
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    return x.leaky_relu(negative_slope)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Tanh-approximate GELU."""
+    inner = 0.7978845608028654 * (x + 0.044715 * x * x * x)
+    return 0.5 * x * (1.0 + inner.tanh())
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted_data = x.data - x.data.max(axis=axis, keepdims=True)
+    exp_data = np.exp(shifted_data)
+    out_data = exp_data / exp_data.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray) -> None:
+        dot = (g * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (g - dot))
+
+    return Tensor._make(out_data, (x,), backward, "softmax")
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    soft = np.exp(out_data)
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(g - soft * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward, "log_softmax")
+
+
+# --------------------------------------------------------------------- #
+# multi-input ops
+# --------------------------------------------------------------------- #
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(start, stop)
+            t._accumulate(g[tuple(index)])
+
+    return Tensor._make(out_data, tuple(tensors), backward, "concat")
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray) -> None:
+        for i, t in enumerate(tensors):
+            t._accumulate(np.take(g, i, axis=axis))
+
+    return Tensor._make(out_data, tuple(tensors), backward, "stack")
+
+
+def split(x: Tensor, sections: int, axis: int = 0) -> list[Tensor]:
+    """Split into ``sections`` equal chunks along ``axis``."""
+    if x.shape[axis] % sections != 0:
+        raise ValueError(
+            f"axis {axis} of size {x.shape[axis]} is not divisible by {sections}")
+    size = x.shape[axis] // sections
+    chunks = []
+    for i in range(sections):
+        index = [slice(None)] * x.ndim
+        index[axis] = slice(i * size, (i + 1) * size)
+        chunks.append(x[tuple(index)])
+    return chunks
+
+
+def where(condition, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select; ``condition`` is a plain bool array."""
+    condition = np.asarray(condition, dtype=bool)
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    out_data = np.where(condition, a.data, b.data)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(unbroadcast(np.where(condition, g, 0.0), a.shape))
+        b._accumulate(unbroadcast(np.where(condition, 0.0, g), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward, "where")
+
+
+def einsum(subscripts: str, a: Tensor, b: Tensor) -> Tensor:
+    """Two-operand einsum with autograd.
+
+    The gradient w.r.t. each operand is itself an einsum with permuted
+    subscripts (``out,other->operand``).  This requires every index of an
+    operand to appear in the output or the other operand, and no repeated
+    indices within one operand — which holds for all graph-convolution
+    contractions used in this package.
+    """
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    if "..." in subscripts:
+        raise ValueError("ellipsis subscripts are not supported")
+    lhs, out_sub = subscripts.replace(" ", "").split("->")
+    a_sub, b_sub = lhs.split(",")
+    if len(set(a_sub)) != len(a_sub) or len(set(b_sub)) != len(b_sub):
+        raise ValueError("repeated indices within one operand are not supported")
+    for idx in a_sub:
+        if idx not in out_sub and idx not in b_sub:
+            raise ValueError(f"index {idx!r} of first operand is summed alone")
+    for idx in b_sub:
+        if idx not in out_sub and idx not in a_sub:
+            raise ValueError(f"index {idx!r} of second operand is summed alone")
+
+    out_data = np.einsum(subscripts, a.data, b.data)
+
+    def backward(g: np.ndarray) -> None:
+        a._accumulate(np.einsum(f"{out_sub},{b_sub}->{a_sub}", g, b.data))
+        b._accumulate(np.einsum(f"{out_sub},{a_sub}->{b_sub}", g, a.data))
+
+    return Tensor._make(out_data, (a, b), backward, "einsum")
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: identity at eval time."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep) / keep
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(g * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward, "dropout")
+
+
+def huber(x: Tensor, delta: float = 1.0) -> Tensor:
+    """Elementwise Huber penalty of ``x`` (used by masked losses)."""
+    abs_data = np.abs(x.data)
+    quadratic = abs_data <= delta
+    out_data = np.where(quadratic, 0.5 * x.data ** 2,
+                        delta * (abs_data - 0.5 * delta))
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate(g * np.where(quadratic, x.data, delta * np.sign(x.data)))
+
+    return Tensor._make(out_data, (x,), backward, "huber")
+
+
+# --------------------------------------------------------------------- #
+# convolution (im2col)
+# --------------------------------------------------------------------- #
+def _col_indices(height: int, width: int, kh: int, kw: int,
+                 stride: tuple[int, int], dilation: tuple[int, int]):
+    sh, sw = stride
+    dh, dw = dilation
+    out_h = (height - dh * (kh - 1) - 1) // sh + 1
+    out_w = (width - dw * (kw - 1) - 1) // sw + 1
+    i0 = dh * np.repeat(np.arange(kh), kw)
+    j0 = dw * np.tile(np.arange(kw), kh)
+    i1 = sh * np.repeat(np.arange(out_h), out_w)
+    j1 = sw * np.tile(np.arange(out_w), out_h)
+    rows = i0[:, None] + i1[None, :]          # (kh*kw, out_h*out_w)
+    cols = j0[:, None] + j1[None, :]
+    return rows, cols, out_h, out_w
+
+
+def unfold2d(x_data: np.ndarray, kernel: tuple[int, int],
+             stride: tuple[int, int] = (1, 1),
+             dilation: tuple[int, int] = (1, 1)):
+    """im2col on raw data: (B, C, H, W) -> (B, C*kh*kw, L), plus out shape."""
+    batch, channels, height, width = x_data.shape
+    kh, kw = kernel
+    rows, cols, out_h, out_w = _col_indices(height, width, kh, kw, stride, dilation)
+    patches = x_data[:, :, rows, cols]         # (B, C, kh*kw, L)
+    return patches.reshape(batch, channels * kh * kw, -1), out_h, out_w
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride: tuple[int, int] = (1, 1),
+           padding: tuple[int, int] = (0, 0),
+           dilation: tuple[int, int] = (1, 1)) -> Tensor:
+    """2-D convolution.
+
+    ``x``: (B, C_in, H, W); ``weight``: (C_out, C_in, kh, kw);
+    ``bias``: (C_out,) or None.  Padding is symmetric zero padding.
+    """
+    if padding != (0, 0):
+        x = x.pad(((0, 0), (0, 0), (padding[0], padding[0]),
+                   (padding[1], padding[1])))
+    batch, c_in, height, width = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"conv2d channel mismatch: input {c_in} vs weight {c_in_w}")
+
+    rows, cols, out_h, out_w = _col_indices(height, width, kh, kw, stride, dilation)
+    patches = x.data[:, :, rows, cols]                      # (B, C, K, L)
+    cols_mat = patches.reshape(batch, c_in * kh * kw, -1)   # (B, CK, L)
+    w_mat = weight.data.reshape(c_out, -1)                  # (Cout, CK)
+    out_data = np.einsum("ok,bkl->bol", w_mat, cols_mat)
+    if bias is not None:
+        out_data = out_data + bias.data[None, :, None]
+    out_data = out_data.reshape(batch, c_out, out_h, out_w)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        g_mat = g.reshape(batch, c_out, -1)                  # (B, Cout, L)
+        # weight grad
+        gw = np.einsum("bol,bkl->ok", g_mat, cols_mat).reshape(weight.shape)
+        weight._accumulate(gw)
+        if bias is not None:
+            bias._accumulate(g_mat.sum(axis=(0, 2)))
+        # input grad: scatter columns back
+        g_cols = np.einsum("ok,bol->bkl", w_mat, g_mat)      # (B, CK, L)
+        g_cols = g_cols.reshape(batch, c_in, kh * kw, -1)
+        gx = np.zeros((batch, c_in, height, width), dtype=x.data.dtype)
+        np.add.at(gx, (slice(None), slice(None), rows, cols), g_cols)
+        x._accumulate(gx)
+
+    return Tensor._make(out_data, parents, backward, "conv2d")
+
+
+def conv1d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride: int = 1, padding: int = 0, dilation: int = 1) -> Tensor:
+    """1-D convolution via conv2d.  ``x``: (B, C, L); ``weight``: (Cout, Cin, k)."""
+    x4 = x.expand_dims(2)                                 # (B, C, 1, L)
+    w4 = weight.expand_dims(2)                            # (Cout, Cin, 1, k)
+    out = conv2d(x4, w4, bias, stride=(1, stride),
+                 padding=(0, padding), dilation=(1, dilation))
+    return out.squeeze(2)

@@ -1,0 +1,74 @@
+"""Numerical gradient checking — public utility for extension authors.
+
+Any new op or layer added to :mod:`repro.nn` should pass
+:func:`check_gradients`, which compares reverse-mode gradients against
+central differences.  The test suite uses the same machinery for every op.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(func: Callable[[], float], array: np.ndarray,
+                       eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``func()`` w.r.t. ``array``.
+
+    ``func`` must read ``array`` by reference: it is perturbed in place and
+    restored after each evaluation.
+    """
+    grad = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    for _ in iterator:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        plus = func()
+        array[index] = original - eps
+        minus = func()
+        array[index] = original
+        grad[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradients(func: Callable[..., Tensor],
+                    inputs: Sequence[np.ndarray],
+                    atol: float = 1e-5, rtol: float = 1e-4,
+                    eps: float = 1e-6) -> bool:
+    """Verify ``func(*tensors).sum()`` gradients against central differences.
+
+    Parameters
+    ----------
+    func:
+        Maps input Tensors to an output Tensor (any shape; the check sums
+        it to a scalar).
+    inputs:
+        Raw arrays; each is checked as a differentiable input.
+
+    Returns True on success; raises ``AssertionError`` with the offending
+    input index otherwise.
+    """
+    arrays = [np.array(a, dtype=float) for a in inputs]
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    func(*tensors).sum().backward()
+
+    for i, (array, tensor) in enumerate(zip(arrays, tensors)):
+        def value() -> float:
+            fresh = [Tensor(a) for a in arrays]
+            return float(func(*fresh).data.sum())
+
+        expected = numerical_gradient(value, arrays[i], eps)
+        if tensor.grad is None:
+            raise AssertionError(f"input {i} received no gradient")
+        if not np.allclose(tensor.grad, expected, atol=atol, rtol=rtol):
+            worst = np.abs(tensor.grad - expected).max()
+            raise AssertionError(
+                f"input {i}: max gradient error {worst:.3e} exceeds "
+                f"tolerance (atol={atol}, rtol={rtol})")
+    return True

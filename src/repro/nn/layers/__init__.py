@@ -1,0 +1,15 @@
+"""Neural-network layers built on the autograd tensor."""
+
+from .attention import GraphAttention, MultiHeadAttention, scaled_dot_product_attention
+from .conv import Conv1d, Conv2d
+from .dropout import Dropout
+from .embedding import Embedding
+from .linear import Linear
+from .norm import BatchNorm, LayerNorm
+from .recurrent import GRU, GRUCell, LSTM, LSTMCell
+
+__all__ = [
+    "Linear", "Conv1d", "Conv2d", "GRU", "GRUCell", "LSTM", "LSTMCell",
+    "MultiHeadAttention", "GraphAttention", "scaled_dot_product_attention",
+    "LayerNorm", "BatchNorm", "Embedding", "Dropout",
+]

@@ -1,0 +1,25 @@
+"""Dropout layer with its own seeded generator for reproducible training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..module import Module
+from ..tensor import Tensor
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode or when ``p == 0``."""
+
+    def __init__(self, p: float = 0.1, *, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self._rng)

@@ -1,0 +1,31 @@
+"""Embedding lookup (used by GMAN's time-of-day embedding)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import init
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["Embedding"]
+
+
+class Embedding(Module):
+    """Lookup table: integer indices -> dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, *,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            rng.normal(0.0, 1.0 / np.sqrt(embedding_dim),
+                       size=(num_embeddings, embedding_dim)))
+
+    def forward(self, indices) -> Tensor:
+        index_array = np.asarray(indices, dtype=np.int64)
+        if index_array.min() < 0 or index_array.max() >= self.num_embeddings:
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings})")
+        return self.weight[index_array]

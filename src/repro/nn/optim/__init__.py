@@ -1,0 +1,11 @@
+"""Optimizers and LR schedulers."""
+
+from .adam import Adam, AdamW
+from .optimizer import Optimizer, clip_grad_norm
+from .schedulers import CosineAnnealingLR, ExponentialLR, StepLR
+from .rmsprop import Adagrad, RMSprop
+from .sgd import SGD
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "RMSprop", "Adagrad",
+           "clip_grad_norm",
+           "StepLR", "ExponentialLR", "CosineAnnealingLR"]

@@ -1,0 +1,47 @@
+"""Optimizer base class and gradient clipping."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..module import Parameter
+
+__all__ = ["Optimizer", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Clip gradients in place to a global L2 norm; returns the pre-clip norm.
+
+    All the paper's seq2seq models (DCRNN, ST-MetaNet) rely on clipping for
+    stable training; we apply it uniformly across models.
+    """
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for g in grads:
+            g *= scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError

@@ -1,0 +1,106 @@
+"""Error-volatility analysis (the paper's Sec. VI observation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (error_volatility_correlation, per_sensor_errors,
+                        volatility_profile)
+
+
+@pytest.fixture
+def synthetic():
+    """A world where errors provably scale with local volatility."""
+    rng = np.random.default_rng(0)
+    total, nodes = 400, 3
+    series = np.full((total, nodes), 50.0)
+    # volatile middle third
+    series[150:250] += rng.normal(0, 8.0, size=(100, nodes))
+    starts = np.arange(0, total - 12)
+    target = np.stack([series[s:s + 12] for s in starts])
+    # model error proportional to local variation
+    noise = np.diff(np.concatenate([series[:1], series]), axis=0)
+    error = np.stack([np.abs(noise[s:s + 12]) for s in starts])
+    prediction = target + error * rng.choice([-1, 1], size=error.shape)
+    return prediction, target, series, starts
+
+
+class TestCorrelation:
+    def test_positive_when_errors_track_volatility(self, synthetic):
+        prediction, target, series, starts = synthetic
+        r, p = error_volatility_correlation(prediction, target, series,
+                                            starts)
+        assert r > 0.3
+        assert p < 1e-6
+
+    def test_zero_for_constant_errors(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(50, 5, size=(300, 2))
+        starts = np.arange(0, 280)
+        target = np.stack([series[s:s + 12] for s in starts])
+        prediction = target + 1.0          # constant error everywhere
+        r, p = error_volatility_correlation(prediction, target, series,
+                                            starts)
+        assert np.isnan(r) or abs(r) < 0.1
+
+    def test_degenerate_inputs(self):
+        series = np.full((100, 1), 5.0)
+        starts = np.arange(0, 80)
+        target = np.stack([series[s:s + 12] for s in starts])
+        r, p = error_volatility_correlation(target, target, series, starts)
+        assert np.isnan(r)
+        assert p == 1.0
+
+    def test_shape_mismatch(self, synthetic):
+        prediction, target, series, starts = synthetic
+        with pytest.raises(ValueError):
+            error_volatility_correlation(prediction[:, :6], target, series,
+                                         starts)
+
+
+class TestVolatilityProfile:
+    def test_monotone_profile_for_tracking_errors(self, synthetic):
+        prediction, target, series, starts = synthetic
+        profile = volatility_profile(prediction, target, series, starts,
+                                     bins=4)
+        valid = profile.counts > 0
+        values = profile.mean_error[valid]
+        assert values[-1] > values[0]      # errors grow with volatility
+
+    def test_counts_sum_to_pairs(self, synthetic):
+        prediction, target, series, starts = synthetic
+        profile = volatility_profile(prediction, target, series, starts,
+                                     bins=5)
+        assert profile.counts.sum() > 0
+        assert len(profile.mean_error) == 5
+
+    def test_render(self, synthetic):
+        prediction, target, series, starts = synthetic
+        text = volatility_profile(prediction, target, series, starts).render()
+        assert "volatility bin" in text
+
+    def test_bins_validated(self, synthetic):
+        prediction, target, series, starts = synthetic
+        with pytest.raises(ValueError):
+            volatility_profile(prediction, target, series, starts, bins=0)
+
+
+class TestPerSensorErrors:
+    def test_shapes_and_values(self):
+        prediction = np.zeros((10, 12, 3))
+        target = np.ones((10, 12, 3))
+        target[:, :, 2] = 5.0
+        errors = per_sensor_errors(prediction, target)
+        np.testing.assert_allclose(errors, [1.0, 1.0, 5.0])
+
+    def test_null_targets_excluded(self):
+        prediction = np.zeros((4, 12, 2))
+        target = np.ones((4, 12, 2))
+        target[:2, 0, 0] = 0.0             # missing readings
+        errors = per_sensor_errors(prediction, target)
+        assert errors[0] == pytest.approx(1.0)
+
+    def test_all_null_sensor_is_nan(self):
+        prediction = np.zeros((4, 12, 1))
+        target = np.zeros((4, 12, 1))
+        errors = per_sensor_errors(prediction, target)
+        assert np.isnan(errors[0])

@@ -1,0 +1,65 @@
+"""Rolling-origin cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (TrainingConfig, rolling_origin_evaluate,
+                        rolling_origin_folds)
+
+FAST = TrainingConfig(epochs=1, max_batches_per_epoch=2)
+
+
+class TestRollingOriginFolds:
+    def test_fold_count(self, ci_dataset):
+        folds = rolling_origin_folds(ci_dataset, n_folds=3)
+        assert len(folds) == 3
+        assert [f.index for f in folds] == [0, 1, 2]
+
+    def test_training_region_expands(self, ci_dataset):
+        folds = rolling_origin_folds(ci_dataset, n_folds=3)
+        trains = [f.train_steps for f in folds]
+        assert trains == sorted(trains)
+        assert trains[0] < trains[-1]
+
+    def test_test_blocks_follow_training(self, ci_dataset):
+        folds = rolling_origin_folds(ci_dataset, n_folds=2)
+        for fold in folds:
+            test = fold.dataset.supervised.test
+            # every test window starts at/after the training region
+            assert test.start_index.min() >= fold.train_steps - (
+                fold.dataset.supervised.config.horizon)
+
+    def test_folds_share_underlying_series(self, ci_dataset):
+        folds = rolling_origin_folds(ci_dataset, n_folds=2)
+        prefix = folds[0].dataset.supervised.series
+        np.testing.assert_array_equal(
+            prefix, ci_dataset.supervised.series[:len(prefix)])
+
+    def test_validation_exists_per_fold(self, ci_dataset):
+        for fold in rolling_origin_folds(ci_dataset, n_folds=2):
+            assert fold.dataset.supervised.val.num_samples > 0
+
+    def test_too_many_folds_rejected(self, ci_dataset):
+        with pytest.raises(ValueError, match="too short"):
+            rolling_origin_folds(ci_dataset, n_folds=100)
+
+    def test_parameter_validation(self, ci_dataset):
+        with pytest.raises(ValueError):
+            rolling_origin_folds(ci_dataset, n_folds=0)
+        with pytest.raises(ValueError):
+            rolling_origin_folds(ci_dataset, min_train_fraction=1.5)
+
+
+class TestRollingOriginEvaluate:
+    def test_one_result_per_fold(self, ci_dataset):
+        results = rolling_origin_evaluate("linear", ci_dataset, FAST,
+                                          n_folds=2)
+        assert len(results) == 2
+        for result in results:
+            assert np.isfinite(result.evaluation.full[15].mae)
+
+    def test_folds_measure_different_periods(self, ci_dataset):
+        results = rolling_origin_evaluate("linear", ci_dataset, FAST,
+                                          n_folds=2)
+        maes = [r.evaluation.full[15].mae for r in results]
+        assert maes[0] != pytest.approx(maes[1])

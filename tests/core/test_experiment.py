@@ -1,0 +1,163 @@
+"""Experiment runner: training loop, prediction, evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import (TrainingConfig, evaluate_model, predict,
+                        run_experiment, train_model)
+from repro.models import create_model
+
+FAST = TrainingConfig(epochs=2, batch_size=32, max_batches_per_epoch=4,
+                      learning_rate=0.01)
+
+
+@pytest.fixture(scope="module")
+def trained(ci_dataset):
+    model = create_model("linear", ci_dataset.num_nodes, ci_dataset.adjacency,
+                         seed=0)
+    history = train_model(model, ci_dataset, FAST, seed=0)
+    return model, history
+
+
+class TestTrainModel:
+    def test_history_lengths(self, trained):
+        _, history = trained
+        assert len(history.train_losses) == 2
+        assert len(history.val_maes) == 2
+        assert len(history.epoch_seconds) == 2
+
+    def test_loss_decreases_over_training(self, ci_dataset):
+        model = create_model("linear", ci_dataset.num_nodes,
+                             ci_dataset.adjacency, seed=0)
+        config = TrainingConfig(epochs=4, max_batches_per_epoch=8,
+                                learning_rate=0.05)
+        history = train_model(model, ci_dataset, config, seed=0)
+        assert history.train_losses[-1] < history.train_losses[0]
+
+    def test_best_epoch_tracked(self, trained):
+        _, history = trained
+        best = history.best_epoch
+        assert history.val_maes[best] == min(history.val_maes)
+
+    def test_baselines_skip_training(self, ci_dataset):
+        model = create_model("last-value", ci_dataset.num_nodes,
+                             ci_dataset.adjacency)
+        history = train_model(model, ci_dataset, FAST)
+        assert history.train_losses == []
+
+    def test_early_stopping(self, ci_dataset):
+        model = create_model("linear", ci_dataset.num_nodes,
+                             ci_dataset.adjacency, seed=0)
+        config = TrainingConfig(epochs=50, max_batches_per_epoch=2,
+                                learning_rate=0.3, patience=1)
+        history = train_model(model, ci_dataset, config, seed=0)
+        assert len(history.train_losses) < 50
+
+    def test_restores_best_weights(self, ci_dataset):
+        """After training, validation MAE equals the best epoch's value."""
+        from repro.core import mae
+        model = create_model("linear", ci_dataset.num_nodes,
+                             ci_dataset.adjacency, seed=0)
+        config = TrainingConfig(epochs=3, max_batches_per_epoch=6,
+                                learning_rate=0.05)
+        history = train_model(model, ci_dataset, config, seed=0)
+        prediction, _ = predict(model, ci_dataset.supervised.val,
+                                ci_dataset.supervised.scaler)
+        final_val = mae(prediction, ci_dataset.supervised.val.y)
+        assert final_val == pytest.approx(min(history.val_maes), rel=1e-9)
+
+    def test_train_time_per_epoch(self, trained):
+        _, history = trained
+        assert history.train_time_per_epoch > 0
+
+    @pytest.mark.parametrize("schedule", ["step", "exponential", "cosine"])
+    def test_lr_schedules_run(self, ci_dataset, schedule):
+        model = create_model("linear", ci_dataset.num_nodes,
+                             ci_dataset.adjacency, seed=0)
+        config = TrainingConfig(epochs=3, max_batches_per_epoch=2,
+                                lr_schedule=schedule)
+        history = train_model(model, ci_dataset, config, seed=0)
+        assert len(history.train_losses) == 3
+
+    def test_unknown_schedule_rejected(self, ci_dataset):
+        model = create_model("linear", ci_dataset.num_nodes,
+                             ci_dataset.adjacency, seed=0)
+        config = TrainingConfig(epochs=1, lr_schedule="warmup")
+        with pytest.raises(ValueError, match="unknown lr_schedule"):
+            train_model(model, ci_dataset, config)
+
+
+class TestPredict:
+    def test_shapes_and_units(self, trained, ci_dataset):
+        model, _ = trained
+        prediction, elapsed = predict(model, ci_dataset.supervised.test,
+                                      ci_dataset.supervised.scaler)
+        split = ci_dataset.supervised.test
+        assert prediction.shape == split.y.shape
+        assert elapsed > 0
+        # predictions are in original (mph) units, not z-scores
+        assert prediction.mean() > 5.0
+
+    def test_deterministic(self, trained, ci_dataset):
+        model, _ = trained
+        a, _ = predict(model, ci_dataset.supervised.test,
+                       ci_dataset.supervised.scaler)
+        b, _ = predict(model, ci_dataset.supervised.test,
+                       ci_dataset.supervised.scaler)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sets_eval_mode(self, trained, ci_dataset):
+        model, _ = trained
+        model.train()
+        predict(model, ci_dataset.supervised.test, ci_dataset.supervised.scaler)
+        assert not model.training
+
+
+class TestEvaluateModel:
+    def test_produces_all_horizons(self, trained, ci_dataset):
+        model, _ = trained
+        result = evaluate_model(model, ci_dataset)
+        assert set(result.full) == {15, 30, 60}
+        assert set(result.difficult) == {15, 30, 60}
+
+    def test_metrics_finite(self, trained, ci_dataset):
+        model, _ = trained
+        result = evaluate_model(model, ci_dataset)
+        for minutes in (15, 30, 60):
+            assert np.isfinite(result.full[minutes].mae)
+            assert np.isfinite(result.difficult[minutes].mae)
+
+    def test_difficult_worse_than_full(self, trained, ci_dataset):
+        """The paper's core Sec. V-B finding: errors rise on hard intervals."""
+        model, _ = trained
+        result = evaluate_model(model, ci_dataset)
+        assert result.difficult[15].mae > result.full[15].mae
+
+    def test_degradation_positive(self, trained, ci_dataset):
+        model, _ = trained
+        result = evaluate_model(model, ci_dataset)
+        assert result.degradation(15) > 0
+
+    def test_param_count_matches_model(self, trained, ci_dataset):
+        model, _ = trained
+        result = evaluate_model(model, ci_dataset)
+        assert result.num_parameters == model.num_parameters()
+
+
+class TestRunExperiment:
+    def test_end_to_end(self, ci_dataset):
+        result = run_experiment("linear", ci_dataset, FAST, seed=0)
+        assert result.model_name == "linear"
+        assert result.dataset_name == "metr-la"
+        assert result.evaluation.full[15].mae > 0
+
+    def test_seed_reproducibility(self, ci_dataset):
+        a = run_experiment("linear", ci_dataset, FAST, seed=1)
+        b = run_experiment("linear", ci_dataset, FAST, seed=1)
+        assert (a.evaluation.full[15].mae
+                == pytest.approx(b.evaluation.full[15].mae, rel=1e-9))
+
+    def test_model_hparams_forwarded(self, ci_dataset):
+        result = run_experiment("stg2seq", ci_dataset, FAST, seed=0,
+                                channels=8)
+        assert result.evaluation.num_parameters > 0

@@ -1,0 +1,79 @@
+"""Per-step horizon error curves."""
+
+import numpy as np
+import pytest
+
+from repro.core import curve_steepness, horizon_curve, render_curves
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    target = rng.uniform(40, 60, size=(20, 12, 3))
+    # error grows linearly with horizon step
+    noise = (np.arange(1, 13)[None, :, None]
+             * rng.choice([-1.0, 1.0], size=(20, 12, 3)) * 0.5)
+    return target + noise, target
+
+
+class TestHorizonCurve:
+    def test_shape(self, data):
+        prediction, target = data
+        curve = horizon_curve(prediction, target)
+        assert curve.shape == (12,)
+
+    def test_growing_error_detected(self, data):
+        prediction, target = data
+        curve = horizon_curve(prediction, target)
+        assert curve[0] == pytest.approx(0.5)
+        assert curve[-1] == pytest.approx(6.0)
+        assert np.all(np.diff(curve) > 0)
+
+    def test_metric_selection(self, data):
+        prediction, target = data
+        mae_curve = horizon_curve(prediction, target, "mae")
+        rmse_curve = horizon_curve(prediction, target, "rmse")
+        assert np.all(rmse_curve >= mae_curve - 1e-12)
+
+    def test_unknown_metric(self, data):
+        with pytest.raises(ValueError, match="unknown metric"):
+            horizon_curve(*data, metric="r2")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            horizon_curve(np.zeros((2, 12, 3)), np.zeros((2, 12, 4)))
+
+    def test_mask_restricts(self, data):
+        prediction, target = data
+        mask = np.zeros(prediction.shape, dtype=bool)
+        mask[:, :, 0] = True
+        masked = horizon_curve(prediction, target, mask=mask)
+        assert np.isfinite(masked).all()
+
+
+class TestCurveSteepness:
+    def test_flat_curve_ratio_one(self):
+        assert curve_steepness(np.full(12, 2.0)) == pytest.approx(1.0)
+
+    def test_doubling(self):
+        assert curve_steepness(np.array([1.0, 1.5, 2.0])) == pytest.approx(2.0)
+
+    def test_zero_start_nan(self):
+        assert np.isnan(curve_steepness(np.array([0.0, 1.0])))
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            curve_steepness(np.array([1.0]))
+
+
+class TestRenderCurves:
+    def test_contains_models_and_ratios(self, data):
+        prediction, target = data
+        curve = horizon_curve(prediction, target)
+        text = render_curves({"dcrnn": curve, "gman": curve * 0.5})
+        assert "dcrnn" in text and "gman" in text
+        assert "x" in text
+        assert len(text.splitlines()) == 3
+
+    def test_empty(self):
+        assert render_curves({}) == ""

@@ -1,0 +1,140 @@
+"""Difficult-interval extraction: moving std, masks, alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (difficult_mask, interval_segments, moving_std,
+                        prediction_mask)
+
+
+def naive_moving_std(series, window):
+    total, nodes = series.shape
+    out = np.empty_like(series)
+    for t in range(total):
+        lo = max(0, t - window + 1)
+        out[t] = series[lo:t + 1].std(axis=0)
+    return out
+
+
+class TestMovingStd:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=(50, 3)) * 10
+        np.testing.assert_allclose(moving_std(series, 6),
+                                   naive_moving_std(series, 6), atol=1e-8)
+
+    def test_constant_series_zero_std(self):
+        series = np.full((30, 2), 7.0)
+        np.testing.assert_allclose(moving_std(series), 0.0, atol=1e-10)
+
+    def test_step_change_spikes_std(self):
+        series = np.zeros((40, 1))
+        series[20:] = 10.0
+        vol = moving_std(series, window=6)
+        assert vol[:19].max() == 0.0
+        assert vol[20] > 1.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match=r"\(T, N\)"):
+            moving_std(np.zeros(10))
+        with pytest.raises(ValueError, match="window"):
+            moving_std(np.zeros((10, 2)), window=1)
+
+    @given(arrays(np.float64, st.tuples(st.integers(8, 40), st.integers(1, 4)),
+                  elements=st.floats(-50, 50, allow_nan=False)))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_naive(self, series):
+        # atol 1e-5: the cumsum formulation carries ~1e-6 cancellation noise
+        # in adversarial mixes of large and zero values — immaterial for the
+        # quantile thresholds this feeds, but above 1e-6.
+        np.testing.assert_allclose(moving_std(series, 5),
+                                   naive_moving_std(series, 5), atol=1e-5)
+
+
+class TestDifficultMask:
+    def test_upper_quartile_fraction(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=(400, 5))
+        mask = difficult_mask(series, quantile=0.75)
+        fraction = mask.mean(axis=0)
+        # roughly 25% of each node's steps are difficult
+        assert np.all(fraction > 0.15)
+        assert np.all(fraction < 0.40)
+
+    def test_per_node_thresholds(self):
+        # Node 0 is flat, node 1 is volatile: both still contribute ~25%.
+        rng = np.random.default_rng(2)
+        series = np.stack([rng.normal(0, 0.01, 400),
+                           rng.normal(0, 10.0, 400)], axis=1)
+        mask = difficult_mask(series)
+        assert 0.1 < mask[:, 0].mean() < 0.45
+        assert 0.1 < mask[:, 1].mean() < 0.45
+
+    def test_incident_region_flagged(self):
+        series = np.full((200, 1), 60.0)
+        series[100:110, 0] = 10.0               # abrupt collapse
+        mask = difficult_mask(series)
+        assert mask[100:110].any()
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            difficult_mask(np.zeros((50, 2)), quantile=1.5)
+
+
+class TestPredictionMask:
+    def test_alignment(self):
+        mask = np.zeros((30, 2), dtype=bool)
+        mask[15, 0] = True
+        start_index = np.array([10, 14])
+        aligned = prediction_mask(mask, start_index, horizon=4)
+        assert aligned.shape == (2, 4, 2)
+        # sample 0 covers series steps 10..13: no flags
+        assert not aligned[0].any()
+        # sample 1 covers 14..17: step 15 is offset 1
+        assert aligned[1, 1, 0]
+        assert not aligned[1, 1, 1]
+
+    def test_out_of_range_raises(self):
+        mask = np.zeros((10, 1), dtype=bool)
+        with pytest.raises(ValueError, match="past the series end"):
+            prediction_mask(mask, np.array([8]), horizon=4)
+
+    def test_full_coverage_roundtrip(self):
+        rng = np.random.default_rng(3)
+        mask = rng.random((20, 3)) < 0.5
+        starts = np.arange(0, 8)
+        aligned = prediction_mask(mask, starts, horizon=12)
+        for s, start in enumerate(starts):
+            np.testing.assert_array_equal(aligned[s], mask[start:start + 12])
+
+
+class TestIntervalSegments:
+    def test_basic_runs(self):
+        mask = np.array([False, True, True, False, True])
+        assert interval_segments(mask) == [(1, 3), (4, 5)]
+
+    def test_all_true(self):
+        assert interval_segments(np.array([True, True])) == [(0, 2)]
+
+    def test_all_false(self):
+        assert interval_segments(np.array([False, False])) == []
+
+    def test_starts_true(self):
+        assert interval_segments(np.array([True, False, True])) == [(0, 1), (2, 3)]
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            interval_segments(np.zeros((3, 2), dtype=bool))
+
+    @given(arrays(np.bool_, st.integers(1, 50)))
+    @settings(max_examples=30, deadline=None)
+    def test_property_segments_reconstruct_mask(self, mask):
+        segments = interval_segments(mask)
+        rebuilt = np.zeros_like(mask)
+        for start, stop in segments:
+            assert start < stop
+            rebuilt[start:stop] = True
+        np.testing.assert_array_equal(rebuilt, mask)

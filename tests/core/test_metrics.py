@@ -1,0 +1,135 @@
+"""Metrics: formulas, masking, horizon slicing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import HORIZON_STEPS, evaluate_horizons, mae, mape, rmse
+
+
+class TestMAE:
+    def test_formula(self):
+        assert mae(np.array([1.0, 3.0]), np.array([2.0, 5.0]),
+                   null_value=None) == pytest.approx(1.5)
+
+    def test_ignores_null_targets(self):
+        assert mae(np.array([1.0, 100.0]), np.array([2.0, 0.0])) == 1.0
+
+    def test_all_null_returns_nan(self):
+        assert np.isnan(mae(np.array([1.0]), np.array([0.0])))
+
+    def test_mask_restricts(self):
+        prediction = np.array([1.0, 10.0])
+        target = np.array([2.0, 20.0])
+        assert mae(prediction, target, mask=np.array([True, False])) == 1.0
+        assert mae(prediction, target, mask=np.array([False, True])) == 10.0
+
+    def test_perfect_prediction(self):
+        data = np.array([1.0, 2.0, 3.0])
+        assert mae(data, data, null_value=None) == 0.0
+
+
+class TestRMSE:
+    def test_formula(self):
+        value = rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0]),
+                     null_value=None)
+        assert value == pytest.approx(np.sqrt(12.5))
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        prediction = rng.normal(size=100)
+        target = rng.normal(size=100)
+        assert (rmse(prediction, target, null_value=None)
+                >= mae(prediction, target, null_value=None))
+
+
+class TestMAPE:
+    def test_formula_in_percent(self):
+        value = mape(np.array([110.0]), np.array([100.0]), null_value=None)
+        assert value == pytest.approx(10.0)
+
+    def test_excludes_zero_targets_even_without_null(self):
+        value = mape(np.array([1.0, 5.0]), np.array([0.0, 10.0]),
+                     null_value=None)
+        assert value == pytest.approx(50.0)
+
+    def test_symmetric_inputs(self):
+        assert mape(np.array([90.0]), np.array([100.0])) == pytest.approx(10.0)
+
+
+class TestEvaluateHorizons:
+    def test_paper_horizon_steps(self):
+        assert HORIZON_STEPS == {15: 3, 30: 6, 60: 12}
+
+    def test_slices_correct_step(self):
+        prediction = np.zeros((2, 12, 3))
+        target = np.ones((2, 12, 3))
+        target[:, 2] = 5.0             # step 3 <-> 15 minutes
+        result = evaluate_horizons(prediction, target, null_value=None)
+        assert result[15].mae == pytest.approx(5.0)
+        assert result[30].mae == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            evaluate_horizons(np.zeros((2, 12, 3)), np.zeros((2, 12, 4)))
+
+    def test_horizon_beyond_forecast_raises(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            evaluate_horizons(np.zeros((2, 6, 3)), np.zeros((2, 6, 3)))
+
+    def test_custom_horizons(self):
+        prediction = np.zeros((1, 4, 2))
+        target = np.ones((1, 4, 2))
+        result = evaluate_horizons(prediction, target, null_value=None,
+                                   horizons={5: 1, 20: 4})
+        assert set(result) == {5, 20}
+
+    def test_mask_applied_per_step(self):
+        prediction = np.zeros((1, 12, 2))
+        target = np.ones((1, 12, 2))
+        target[0, 2, 0] = 10.0
+        mask = np.zeros((1, 12, 2), dtype=bool)
+        mask[0, 2, 0] = True
+        result = evaluate_horizons(prediction, target, null_value=None,
+                                   mask=mask)
+        assert result[15].mae == pytest.approx(10.0)
+        assert np.isnan(result[30].mae)       # nothing valid at step 6
+
+    def test_metrics_dataclass_dict(self):
+        prediction = np.zeros((1, 12, 2))
+        target = np.ones((1, 12, 2))
+        result = evaluate_horizons(prediction, target, null_value=None)
+        d = result[15].as_dict()
+        assert set(d) == {"mae", "rmse", "mape"}
+
+
+class TestMetricProperties:
+    @given(arrays(np.float64, st.integers(1, 30),
+                  elements=st.floats(1, 100, allow_nan=False)))
+    @settings(max_examples=30, deadline=None)
+    def test_mae_nonnegative_and_zero_iff_equal(self, target):
+        assert mae(target, target, null_value=None) == 0.0
+        shifted = target + 1.0
+        assert mae(shifted, target, null_value=None) == pytest.approx(1.0)
+
+    @given(arrays(np.float64, st.integers(2, 30),
+                  elements=st.floats(1, 100, allow_nan=False)),
+           st.floats(0.1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_mae_scale_equivariance(self, target, scale):
+        prediction = target + 1.0
+        a = mae(prediction * scale, target * scale, null_value=None)
+        b = mae(prediction, target, null_value=None) * scale
+        assert a == pytest.approx(b, rel=1e-9)
+
+    @given(arrays(np.float64, st.integers(2, 30),
+                  elements=st.floats(1, 100, allow_nan=False)),
+           st.floats(0.1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_mape_scale_invariance(self, target, scale):
+        prediction = target * 1.1
+        a = mape(prediction * scale, target * scale, null_value=None)
+        b = mape(prediction, target, null_value=None)
+        assert a == pytest.approx(b, rel=1e-9)

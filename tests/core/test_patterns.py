@@ -1,0 +1,78 @@
+"""Recurring vs non-recurring interval classification."""
+
+import numpy as np
+import pytest
+
+from repro.core import classify_intervals, evaluate_patterns
+from repro.core.patterns import STEPS_PER_DAY
+
+
+def make_series(num_days=5, nodes=2, seed=0):
+    """Flat nights + identical daily rush dip + one one-off incident."""
+    rng = np.random.default_rng(seed)
+    total = num_days * STEPS_PER_DAY
+    series = np.full((total, nodes), 60.0)
+    slot = np.arange(total) % STEPS_PER_DAY
+    rush = (slot >= 96) & (slot < 108)                 # same window every day
+    series[rush] -= 25.0                               # recurring dip
+    series += rng.normal(0, 0.3, size=series.shape)
+    incident = slice(3 * STEPS_PER_DAY + 180, 3 * STEPS_PER_DAY + 190)
+    series[incident, 0] -= 30.0                        # one-off incident
+    return series, incident
+
+
+class TestClassifyIntervals:
+    def test_partition_is_exact(self):
+        series, _ = make_series()
+        masks = classify_intervals(series)
+        np.testing.assert_array_equal(
+            masks.recurring | masks.non_recurring, masks.difficult)
+        assert not (masks.recurring & masks.non_recurring).any()
+
+    def test_rush_hour_classified_recurring(self):
+        series, _ = make_series()
+        masks = classify_intervals(series)
+        slot = np.arange(len(series)) % STEPS_PER_DAY
+        rush_edge = (slot >= 95) & (slot <= 97)        # dip onset: volatile
+        hard_at_rush = masks.difficult[rush_edge]
+        recurring_at_rush = masks.recurring[rush_edge]
+        assert hard_at_rush.any()
+        # the vast majority of difficult rush-onset cells recur daily
+        assert recurring_at_rush.sum() >= 0.7 * hard_at_rush.sum()
+
+    def test_incident_classified_non_recurring(self):
+        series, incident = make_series()
+        masks = classify_intervals(series)
+        onset = incident.start
+        assert masks.difficult[onset:onset + 6, 0].any()
+        flagged = masks.non_recurring[onset:onset + 6, 0]
+        recurring = masks.recurring[onset:onset + 6, 0]
+        assert flagged.sum() >= recurring.sum()
+
+    def test_single_day_all_non_recurring(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(60, 5, size=(STEPS_PER_DAY, 3))
+        masks = classify_intervals(series)
+        assert not masks.recurring.any()
+        np.testing.assert_array_equal(masks.non_recurring, masks.difficult)
+
+    def test_recurring_fraction_bounds(self):
+        series, _ = make_series()
+        masks = classify_intervals(series)
+        assert 0.0 <= masks.recurring_fraction <= 1.0
+
+
+class TestEvaluatePatterns:
+    def test_returns_all_classes(self):
+        series, _ = make_series(num_days=3, nodes=2)
+        masks = classify_intervals(series)
+        horizon = 12
+        starts = np.arange(0, 50)
+        prediction = np.stack([series[s:s + horizon] for s in starts])
+        target = prediction + 1.0
+        result = evaluate_patterns(prediction, target, masks, starts)
+        assert set(result) == {"difficult", "recurring", "non_recurring"}
+        # perfect-offset prediction: MAE 1 wherever any cells are valid
+        for label in result:
+            value = result[label][15].mae
+            assert np.isnan(value) or value == pytest.approx(1.0)

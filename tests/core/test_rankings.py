@@ -1,0 +1,96 @@
+"""Cross-dataset ranking and Friedman analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import aggregate_runs, friedman_test, leaderboard, rank_models
+from .test_results import make_run
+
+
+def matrix_results(performance: dict[str, dict[str, float]]):
+    """Build AggregateResults from {model: {dataset: mae15}}."""
+    results = []
+    for model, per_dataset in performance.items():
+        for dataset, mae15 in per_dataset.items():
+            results.append(aggregate_runs(
+                [make_run(model=model, dataset=dataset, seed=s, mae15=mae15)
+                 for s in range(2)]))
+    return results
+
+
+PERFORMANCE = {
+    "winner": {"d1": 1.0, "d2": 1.2, "d3": 0.9},
+    "middle": {"d1": 2.0, "d2": 2.2, "d3": 1.9},
+    "loser": {"d1": 3.0, "d2": 3.2, "d3": 2.9},
+}
+
+
+class TestRankModels:
+    def test_rank_one_is_best(self):
+        table = rank_models(matrix_results(PERFORMANCE))
+        ranks = table.average_rank()
+        assert ranks["winner"] == pytest.approx(1.0)
+        assert ranks["loser"] == pytest.approx(3.0)
+        assert table.winner() == "winner"
+
+    def test_rank_shape(self):
+        table = rank_models(matrix_results(PERFORMANCE))
+        assert table.ranks.shape == (3, 3)
+        assert sorted(table.datasets) == ["d1", "d2", "d3"]
+
+    def test_ties_share_rank(self):
+        results = matrix_results({"a": {"d1": 1.0}, "b": {"d1": 1.0}})
+        table = rank_models(results)
+        assert table.ranks[0].tolist() == [1.5, 1.5]
+
+    def test_missing_cell_raises(self):
+        results = matrix_results({"a": {"d1": 1.0, "d2": 2.0},
+                                  "b": {"d1": 1.0}})
+        with pytest.raises(ValueError, match="missing cell"):
+            rank_models(results)
+
+    def test_difficult_ranks_differ(self):
+        performance = {"a": {"d1": 1.0}, "b": {"d1": 2.0}}
+        results = []
+        # b better on hard intervals despite worse on average
+        results.append(aggregate_runs(
+            [make_run(model="a", dataset="d1", mae15=1.0, hard15=9.0)]))
+        results.append(aggregate_runs(
+            [make_run(model="b", dataset="d1", mae15=2.0, hard15=3.0)]))
+        full = rank_models(results)
+        hard = rank_models(results, difficult=True)
+        assert full.winner() == "a"
+        assert hard.winner() == "b"
+
+
+class TestFriedman:
+    def test_consistent_rankings_low_p(self):
+        # 5 datasets, perfectly consistent ordering -> strong signal
+        performance = {
+            "a": {f"d{i}": 1.0 + 0.01 * i for i in range(5)},
+            "b": {f"d{i}": 2.0 + 0.01 * i for i in range(5)},
+            "c": {f"d{i}": 3.0 + 0.01 * i for i in range(5)},
+        }
+        table = rank_models(matrix_results(performance))
+        statistic, p_value = friedman_test(table)
+        assert p_value < 0.05
+
+    def test_degenerate_returns_nan(self):
+        table = rank_models(matrix_results({"a": {"d1": 1.0},
+                                            "b": {"d1": 2.0}}))
+        statistic, p_value = friedman_test(table)
+        assert np.isnan(statistic)
+        assert p_value == 1.0
+
+
+class TestLeaderboard:
+    def test_sorted_by_overall_rank(self):
+        text = leaderboard(matrix_results(PERFORMANCE))
+        lines = text.splitlines()
+        winner_line = next(i for i, l in enumerate(lines) if "winner" in l)
+        loser_line = next(i for i, l in enumerate(lines) if "loser" in l)
+        assert winner_line < loser_line
+
+    def test_contains_friedman(self):
+        text = leaderboard(matrix_results(PERFORMANCE))
+        assert "Friedman" in text

@@ -1,0 +1,88 @@
+"""Report rendering: the paper-style text tables."""
+
+import numpy as np
+import pytest
+
+from repro.core import (fig1_table, fig2_table, fig3_series, format_table,
+                        table3)
+from .test_results import make_run
+from repro.core import aggregate_runs
+
+
+@pytest.fixture
+def results():
+    return [aggregate_runs([make_run(model="graph-wavenet", dataset="metr-la",
+                                     mae15=2.0, hard15=3.0)]),
+            aggregate_runs([make_run(model="stgcn", dataset="metr-la",
+                                     mae15=4.0, hard15=7.0)])]
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        text = format_table(["a", "long_header"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+
+    def test_contains_cells(self):
+        text = format_table(["x"], [["hello"]])
+        assert "hello" in text
+
+
+class TestFig1Table:
+    def test_contains_models_and_metrics(self, results):
+        text = fig1_table(results, "metr-la")
+        assert "graph-wavenet" in text
+        assert "stgcn" in text
+        assert "MAE@15m" in text
+        assert "MAPE@60m" in text
+
+    def test_unknown_dataset_raises(self, results):
+        with pytest.raises(ValueError):
+            fig1_table(results, "nope")
+
+    def test_metric_subset(self, results):
+        text = fig1_table(results, "metr-la", metrics=("mae",))
+        assert "RMSE" not in text
+
+
+class TestTable3:
+    def test_columns(self, results):
+        text = table3(results, "metr-la")
+        assert "train s/epoch" in text
+        assert "# params" in text
+        assert "1.0k" in text        # 1000 parameters
+
+    def test_unknown_dataset_raises(self, results):
+        with pytest.raises(ValueError):
+            table3(results, "nope")
+
+
+class TestFig2Table:
+    def test_degradation_sign_rendered(self, results):
+        text = fig2_table(results, "metr-la")
+        assert "hardMAE@15m" in text
+        assert "+" in text           # positive degradation percentage
+
+    def test_both_models_present(self, results):
+        text = fig2_table(results, "metr-la")
+        assert "graph-wavenet" in text and "stgcn" in text
+
+
+class TestFig3Series:
+    def test_renders_trace(self):
+        truth = np.linspace(60, 20, 24)
+        prediction = truth + 1.0
+        text = fig3_series(truth, prediction, [(5, 10)], road=7)
+        assert "road 7" in text
+        assert "MAE=1.00" in text
+        assert "*" in text           # difficult-interval marker
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            fig3_series(np.zeros(5), np.zeros(6), [], road=0)
+
+    def test_subsampling_respects_max_points(self):
+        truth = np.zeros(1000)
+        text = fig3_series(truth, truth, [], road=0, max_points=10)
+        assert len(text.splitlines()) < 120

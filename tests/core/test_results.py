@@ -1,0 +1,82 @@
+"""Result aggregation and JSON persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import aggregate_runs, load_results, save_results
+from repro.core.experiment import (EvaluationResult, RunResult,
+                                   TrainingHistory)
+from repro.core.metrics import HorizonMetrics
+
+
+def make_run(model="m", dataset="d", seed=0, mae15=2.0, hard15=3.0):
+    full = {m: HorizonMetrics(mae=mae15 + m / 30, rmse=mae15 * 1.5,
+                              mape=mae15 * 4) for m in (15, 30, 60)}
+    difficult = {m: HorizonMetrics(mae=hard15 + m / 30, rmse=hard15 * 1.5,
+                                   mape=hard15 * 4) for m in (15, 30, 60)}
+    history = TrainingHistory(train_losses=[1.0, 0.5], val_maes=[2.0, 1.5],
+                              epoch_seconds=[1.0, 1.2], best_epoch=1)
+    evaluation = EvaluationResult(full=full, difficult=difficult,
+                                  inference_seconds=0.5, num_parameters=1000)
+    return RunResult(model_name=model, dataset_name=dataset, seed=seed,
+                     history=history, evaluation=evaluation)
+
+
+class TestAggregateRuns:
+    def test_mean_and_std(self):
+        runs = [make_run(seed=0, mae15=2.0), make_run(seed=1, mae15=4.0)]
+        agg = aggregate_runs(runs)
+        assert agg.full[15]["mae"].mean == pytest.approx(3.5)
+        assert agg.full[15]["mae"].std == pytest.approx(1.0)
+        assert agg.num_repeats == 2
+
+    def test_degradation_aggregated(self):
+        runs = [make_run(mae15=2.0, hard15=3.0)]
+        agg = aggregate_runs(runs)
+        # degradation at 15m: (3.5 - 2.5) / 2.5 = 40%
+        assert agg.degradation[15].mean == pytest.approx(40.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([])
+
+    def test_mixed_cells_rejected(self):
+        with pytest.raises(ValueError, match="mix"):
+            aggregate_runs([make_run(model="a"), make_run(model="b")])
+
+    def test_nan_values_skipped(self):
+        runs = [make_run(mae15=2.0), make_run(mae15=float("nan"))]
+        agg = aggregate_runs(runs)
+        assert agg.full[15]["mae"].mean == pytest.approx(2.5)
+
+    def test_metric_accessor(self):
+        agg = aggregate_runs([make_run(mae15=2.0, hard15=5.0)])
+        assert agg.metric(15, "mae").mean == pytest.approx(2.5)
+        assert agg.metric(15, "mae", difficult=True).mean == pytest.approx(5.5)
+
+    def test_summary_str(self):
+        agg = aggregate_runs([make_run()])
+        assert "±" in str(agg.full[15]["mae"])
+
+
+class TestJSONRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        results = [aggregate_runs([make_run(seed=s, mae15=2.0 + s)
+                                   for s in range(3)]),
+                   aggregate_runs([make_run(model="other", mae15=9.0)])]
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        loaded = load_results(path)
+        assert len(loaded) == 2
+        assert loaded[0].model_name == "m"
+        assert loaded[0].full[15]["mae"].mean == pytest.approx(
+            results[0].full[15]["mae"].mean)
+        assert loaded[0].degradation[30].mean == pytest.approx(
+            results[0].degradation[30].mean)
+        assert loaded[1].num_parameters == 1000
+
+    def test_horizon_keys_are_ints_after_load(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_results([aggregate_runs([make_run()])], path)
+        loaded = load_results(path)
+        assert all(isinstance(k, int) for k in loaded[0].full)

@@ -1,0 +1,90 @@
+"""Eval-time robustness probes."""
+
+import numpy as np
+import pytest
+
+from repro.core import (TrainingConfig, add_noise, drop_sensors,
+                        robustness_probe, stale_feed, train_model)
+from repro.models import create_model
+
+
+@pytest.fixture(scope="module")
+def trained(ci_dataset):
+    model = create_model("stg2seq", ci_dataset.num_nodes,
+                         ci_dataset.adjacency, seed=0)
+    train_model(model, ci_dataset,
+                TrainingConfig(epochs=2, max_batches_per_epoch=8))
+    return model
+
+
+class TestCorruptions:
+    def test_drop_sensors_zeroes_traffic_only(self, ci_dataset, rng):
+        x = ci_dataset.supervised.test.x[:4]
+        corrupted = drop_sensors(0.5).apply(x, np.random.default_rng(0))
+        # time feature untouched
+        np.testing.assert_array_equal(corrupted[:, :, :, 1], x[:, :, :, 1])
+        # roughly half the sensors zeroed per sample
+        zeroed = (corrupted[:, :, :, 0] == 0).all(axis=1).sum(axis=1)
+        assert np.all(zeroed >= x.shape[2] // 2 - 1)
+
+    def test_drop_zero_fraction_is_identity(self, ci_dataset):
+        x = ci_dataset.supervised.test.x[:4]
+        out = drop_sensors(0.0).apply(x, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, x)
+
+    def test_drop_does_not_mutate_input(self, ci_dataset):
+        x = ci_dataset.supervised.test.x[:4]
+        original = x.copy()
+        drop_sensors(0.5).apply(x, np.random.default_rng(0))
+        np.testing.assert_array_equal(x, original)
+
+    def test_noise_changes_only_traffic(self, ci_dataset):
+        x = ci_dataset.supervised.test.x[:4]
+        out = add_noise(0.5).apply(x, np.random.default_rng(0))
+        assert not np.array_equal(out[:, :, :, 0], x[:, :, :, 0])
+        np.testing.assert_array_equal(out[:, :, :, 1], x[:, :, :, 1])
+
+    def test_stale_feed_freezes_tail(self, ci_dataset):
+        x = ci_dataset.supervised.test.x[:4]
+        out = stale_feed(4).apply(x, np.random.default_rng(0))
+        frozen_value = out[:, -5, :, 0]
+        for k in range(1, 5):
+            np.testing.assert_array_equal(out[:, -k, :, 0], frozen_value)
+        np.testing.assert_array_equal(out[:, :-4], x[:, :-4])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            drop_sensors(1.5)
+        with pytest.raises(ValueError):
+            add_noise(-1.0)
+        with pytest.raises(ValueError):
+            stale_feed(0)
+
+
+class TestProbe:
+    def test_includes_clean_baseline(self, trained, ci_dataset):
+        results = robustness_probe(trained, ci_dataset, [add_noise(0.1)])
+        assert set(results) == {"clean", "noise0.1"}
+
+    def test_corruption_degrades_accuracy(self, trained, ci_dataset):
+        results = robustness_probe(trained, ci_dataset,
+                                   [drop_sensors(0.5), add_noise(1.0)])
+        clean = results["clean"][15].mae
+        assert results["drop50%"][15].mae > clean
+        assert results["noise1"][15].mae > clean
+
+    def test_probe_is_deterministic(self, trained, ci_dataset):
+        a = robustness_probe(trained, ci_dataset, [add_noise(0.3)], seed=1)
+        b = robustness_probe(trained, ci_dataset, [add_noise(0.3)], seed=1)
+        assert a["noise0.3"][15].mae == b["noise0.3"][15].mae
+
+    def test_stale_feed_hurts_short_horizon_most(self, trained, ci_dataset):
+        """Freezing the latest readings hides exactly the information the
+        shortest horizon depends on."""
+        results = robustness_probe(trained, ci_dataset, [stale_feed(6)])
+        clean = results["clean"]
+        stale = results["stale6"]
+        degradation_15 = stale[15].mae - clean[15].mae
+        degradation_60 = stale[60].mae - clean[60].mae
+        assert degradation_15 > 0
+        assert degradation_15 >= degradation_60 - 0.5

@@ -1,0 +1,31 @@
+"""Hyper-parameter grid sweep."""
+
+import pytest
+
+from repro.core import TrainingConfig, grid_sweep
+
+FAST = TrainingConfig(epochs=1, max_batches_per_epoch=3)
+
+
+class TestGridSweep:
+    def test_sweeps_all_points(self, ci_dataset):
+        results = grid_sweep("stg2seq", ci_dataset,
+                             {"channels": [4, 8], "long_layers": [1, 2]},
+                             config=FAST)
+        assert len(results) == 4
+        tried = {tuple(sorted(r.hparams.items())) for r in results}
+        assert len(tried) == 4
+
+    def test_sorted_by_validation_mae(self, ci_dataset):
+        results = grid_sweep("stg2seq", ci_dataset, {"channels": [4, 8]},
+                             config=FAST)
+        assert results[0].val_mae <= results[1].val_mae
+
+    def test_empty_grid_raises(self, ci_dataset):
+        with pytest.raises(ValueError):
+            grid_sweep("linear", ci_dataset, {}, config=FAST)
+
+    def test_exposes_test_metric(self, ci_dataset):
+        results = grid_sweep("stg2seq", ci_dataset, {"channels": [4]},
+                             config=FAST)
+        assert results[0].test_mae_15 > 0

@@ -1,0 +1,44 @@
+"""format_table output styles."""
+
+import pytest
+
+from repro.core import format_table
+
+HEADERS = ["model", "MAE"]
+ROWS = [["graph-wavenet", "1.92"], ["gman", "1.99"]]
+
+
+class TestStyles:
+    def test_plain_default(self):
+        text = format_table(HEADERS, ROWS)
+        assert "graph-wavenet" in text
+        assert "|" not in text
+
+    def test_markdown(self):
+        text = format_table(HEADERS, ROWS, style="markdown")
+        lines = text.splitlines()
+        assert lines[0].startswith("| model")
+        assert set(lines[1]) <= {"|", "-"}
+        assert len(lines) == 4
+
+    def test_markdown_columns_aligned(self):
+        text = format_table(HEADERS, ROWS, style="markdown")
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_csv(self):
+        text = format_table(HEADERS, ROWS, style="csv")
+        assert text.splitlines()[0] == "model,MAE"
+        assert text.splitlines()[1] == "graph-wavenet,1.92"
+
+    def test_csv_quotes_commas(self):
+        text = format_table(["a"], [["x,y"]], style="csv")
+        assert '"x,y"' in text
+
+    def test_unknown_style(self):
+        with pytest.raises(ValueError, match="unknown style"):
+            format_table(HEADERS, ROWS, style="latex")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(HEADERS, [["only-one"]])

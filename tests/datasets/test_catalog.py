@@ -1,0 +1,85 @@
+"""Dataset catalog: the seven Table I datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (DATASETS, FLOW_DATASETS, SPEED_DATASETS,
+                            dataset_names, load_dataset)
+
+
+class TestCatalogStructure:
+    def test_seven_datasets(self):
+        assert len(DATASETS) == 7
+
+    def test_speed_flow_partition(self):
+        assert set(SPEED_DATASETS) == {"metr-la", "pems-bay", "pemsd7m"}
+        assert set(FLOW_DATASETS) == {"pemsd3", "pemsd4", "pemsd7", "pemsd8"}
+
+    def test_paper_sizes_match_table1(self):
+        assert DATASETS["metr-la"].paper_nodes == 207
+        assert DATASETS["metr-la"].paper_days == 122
+        assert DATASETS["pems-bay"].paper_nodes == 325
+        assert DATASETS["pemsd7"].paper_nodes == 883
+        assert DATASETS["pemsd8"].paper_nodes == 170
+        assert DATASETS["pemsd7m"].weekdays_only
+
+    def test_dataset_names(self):
+        assert sorted(dataset_names()) == sorted(DATASETS)
+
+
+class TestLoadDataset:
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("no-such-data")
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            load_dataset("metr-la", scale="gigantic")
+
+    def test_name_normalisation(self):
+        a = load_dataset("METR_LA", scale="ci")
+        assert a.spec.name == "metr-la"
+
+    def test_loaded_fields_consistent(self, ci_dataset):
+        assert ci_dataset.adjacency.shape == (ci_dataset.num_nodes,
+                                              ci_dataset.num_nodes)
+        assert ci_dataset.supervised.series.shape[1] == ci_dataset.num_nodes
+        assert ci_dataset.spec.task == "speed"
+
+    def test_speed_dataset_uses_speed_values(self, ci_dataset):
+        np.testing.assert_array_equal(ci_dataset.values,
+                                      ci_dataset.simulation.speed)
+
+    def test_flow_dataset_uses_flow_values(self, ci_flow_dataset):
+        np.testing.assert_array_equal(ci_flow_dataset.values,
+                                      ci_flow_dataset.simulation.flow)
+
+    def test_deterministic(self):
+        a = load_dataset("pemsd8", scale="ci")
+        b = load_dataset("pemsd8", scale="ci")
+        np.testing.assert_array_equal(a.supervised.series, b.supervised.series)
+        np.testing.assert_array_equal(a.adjacency, b.adjacency)
+
+    def test_seed_offset_changes_world(self):
+        a = load_dataset("pemsd8", scale="ci")
+        b = load_dataset("pemsd8", scale="ci", seed_offset=1)
+        assert not np.array_equal(a.supervised.series, b.supervised.series)
+
+    def test_relative_sizes_preserved(self):
+        small = load_dataset("pemsd8", scale="ci")
+        large = load_dataset("pemsd7", scale="ci")
+        # pemsd7 is the largest dataset in Table I, pemsd8 the smallest.
+        assert large.num_nodes > small.num_nodes
+
+    def test_weekdays_only_dataset_has_no_weekend(self):
+        data = load_dataset("pemsd7m", scale="ci")
+        assert np.all(data.simulation.day_of_week < 5)
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_all_datasets_load_at_ci_scale(self, name):
+        data = load_dataset(name, scale="ci")
+        assert data.supervised.train.num_samples > 0
+        assert data.supervised.test.num_samples > 0
+        valid = data.values[data.values > 0]
+        assert valid.size > 0
+        assert np.isfinite(valid).all()

@@ -1,0 +1,69 @@
+"""Fundamental diagram: Greenshields speed/flow relations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (density_from_speed, flow_from_density,
+                            speed_from_density)
+
+FREE_FLOW = np.array([60.0])
+CAPACITY = np.array([200.0])
+
+
+class TestSpeedFromDensity:
+    def test_free_flow_at_zero_density(self):
+        assert speed_from_density(np.array([0.0]), FREE_FLOW)[0] == 60.0
+
+    def test_monotone_decreasing(self):
+        densities = np.linspace(0, 0.95, 50)
+        speeds = speed_from_density(densities, FREE_FLOW)
+        assert np.all(np.diff(speeds) <= 0)
+
+    def test_clipped_above_095(self):
+        heavy = speed_from_density(np.array([1.5]), FREE_FLOW)
+        expected = speed_from_density(np.array([0.95]), FREE_FLOW)
+        np.testing.assert_array_equal(heavy, expected)
+
+
+class TestFlowFromDensity:
+    def test_zero_at_extremes(self):
+        assert flow_from_density(np.array([0.0]), CAPACITY)[0] == 0.0
+        assert flow_from_density(np.array([1.0]), CAPACITY)[0] == 0.0
+
+    def test_peak_at_half(self):
+        assert flow_from_density(np.array([0.5]), CAPACITY)[0] == 200.0
+
+    def test_parabola_symmetric(self):
+        low = flow_from_density(np.array([0.3]), CAPACITY)[0]
+        high = flow_from_density(np.array([0.7]), CAPACITY)[0]
+        assert low == pytest.approx(high)
+
+    def test_rises_then_falls(self):
+        densities = np.linspace(0, 1, 21)
+        flows = flow_from_density(densities, CAPACITY)
+        peak = flows.argmax()
+        assert np.all(np.diff(flows[:peak + 1]) >= 0)
+        assert np.all(np.diff(flows[peak:]) <= 0)
+
+
+class TestRoundTrip:
+    @given(st.floats(0.0, 0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_density_speed_density(self, density):
+        d = np.array([density])
+        speed = speed_from_density(d, FREE_FLOW)
+        recovered = density_from_speed(speed, FREE_FLOW)
+        np.testing.assert_allclose(recovered, d, atol=1e-12)
+
+    def test_speed_flow_correlated_but_not_identical(self):
+        # The paper's Sec. VI observation: correlated, different tendencies.
+        densities = np.linspace(0.05, 0.9, 100)
+        speeds = speed_from_density(densities, FREE_FLOW)
+        flows = flow_from_density(densities, CAPACITY)
+        correlation = np.corrcoef(speeds, flows)[0, 1]
+        assert abs(correlation) < 0.99          # not a linear map of each other
+        # speed is monotone in density, flow is not
+        assert np.all(np.diff(speeds) < 0)
+        assert np.any(np.diff(flows) > 0) and np.any(np.diff(flows) < 0)

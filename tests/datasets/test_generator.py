@@ -1,0 +1,186 @@
+"""Traffic simulator: determinism, realism properties, incident effects."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (STEPS_PER_DAY, SimulationConfig, TrafficSimulator,
+                            density_from_speed)
+from repro.graph import build_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_network(8, topology="corridor", seed=11)
+
+
+@pytest.fixture(scope="module")
+def result(network):
+    return TrafficSimulator(network, SimulationConfig(num_days=4), seed=5).run()
+
+
+class TestShapes:
+    def test_output_shapes(self, result, network):
+        total = 4 * STEPS_PER_DAY
+        n = network.num_nodes
+        assert result.density.shape == (total, n)
+        assert result.speed.shape == (total, n)
+        assert result.flow.shape == (total, n)
+        assert result.timestamps.shape == (total,)
+        assert result.time_of_day.shape == (total,)
+        assert result.day_of_week.shape == (total,)
+        assert result.missing_mask.shape == (total, n)
+
+    def test_time_of_day_in_unit_interval(self, result):
+        assert result.time_of_day.min() >= 0.0
+        assert result.time_of_day.max() < 1.0
+
+    def test_timestamps_are_five_minute_grid(self, result):
+        assert np.all(np.diff(result.timestamps) == 5.0)
+
+    def test_day_of_week_cycles(self, result):
+        assert set(np.unique(result.day_of_week)) <= set(range(7))
+        assert result.day_of_week[0] == 0        # starts Monday by default
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self, network):
+        a = TrafficSimulator(network, SimulationConfig(num_days=2), seed=3).run()
+        b = TrafficSimulator(network, SimulationConfig(num_days=2), seed=3).run()
+        np.testing.assert_array_equal(a.speed, b.speed)
+        np.testing.assert_array_equal(a.missing_mask, b.missing_mask)
+        assert a.incident_log == b.incident_log
+
+    def test_different_seed_differs(self, network):
+        a = TrafficSimulator(network, SimulationConfig(num_days=2), seed=3).run()
+        b = TrafficSimulator(network, SimulationConfig(num_days=2), seed=4).run()
+        assert not np.array_equal(a.speed, b.speed)
+
+
+class TestRealism:
+    def test_density_bounded(self, result):
+        assert result.density.min() >= 0.0
+        assert result.density.max() <= 0.95
+
+    def test_speed_nonnegative_and_below_free_flow(self, result, network):
+        valid = ~result.missing_mask
+        assert result.speed[valid].min() >= 0.0
+        assert np.all(result.speed[valid]
+                      <= network.free_flow_speed[None, :].repeat(
+                          len(result.speed), axis=0)[valid] + 1e-9)
+
+    def test_rush_hour_slower_than_night(self, result):
+        hours = result.time_of_day * 24
+        rush = result.speed[((hours >= 7.5) & (hours <= 9.0))]
+        night = result.speed[((hours >= 2.0) & (hours <= 4.0))]
+        assert rush[rush > 0].mean() < night[night > 0].mean()
+
+    def test_weekend_lighter_than_weekday(self, network):
+        config = SimulationConfig(num_days=7, missing_rate=0.0,
+                                  incident_rate_per_day=0.0)
+        sim = TrafficSimulator(network, config, seed=9).run()
+        weekday = sim.density[sim.day_of_week < 5]
+        weekend = sim.density[sim.day_of_week >= 5]
+        assert weekend.mean() < weekday.mean()
+
+    def test_daily_periodicity(self, network):
+        config = SimulationConfig(num_days=4, missing_rate=0.0,
+                                  incident_rate_per_day=0.0, noise_std=0.0,
+                                  demand_jitter=0.0, start_weekday=0)
+        sim = TrafficSimulator(network, config, seed=2).run()
+        day1 = sim.density[:STEPS_PER_DAY]
+        day2 = sim.density[STEPS_PER_DAY:2 * STEPS_PER_DAY]
+        correlation = np.corrcoef(day1.ravel(), day2.ravel())[0, 1]
+        assert correlation > 0.95
+
+    def test_missing_rate_approximate(self, network):
+        config = SimulationConfig(num_days=4, missing_rate=0.05)
+        sim = TrafficSimulator(network, config, seed=1).run()
+        assert 0.03 < sim.missing_mask.mean() < 0.07
+
+    def test_missing_readings_are_zero(self, result):
+        assert np.all(result.speed[result.missing_mask] == 0.0)
+        assert np.all(result.flow[result.missing_mask] == 0.0)
+
+
+class TestIncidents:
+    def test_incident_raises_local_density(self, network):
+        base_cfg = SimulationConfig(num_days=2, incident_rate_per_day=0.0,
+                                    noise_std=0.0, missing_rate=0.0,
+                                    demand_jitter=0.0)
+        quiet = TrafficSimulator(network, base_cfg, seed=7).run()
+        busy_cfg = SimulationConfig(num_days=2, incident_rate_per_day=10.0,
+                                    noise_std=0.0, missing_rate=0.0,
+                                    demand_jitter=0.0)
+        busy = TrafficSimulator(network, busy_cfg, seed=7).run()
+        assert len(busy.incident_log) > len(quiet.incident_log)
+        assert busy.density.mean() > quiet.density.mean()
+
+    def test_incident_log_entries_valid(self, result):
+        total = len(result.density)
+        n = result.density.shape[1]
+        for step, node, magnitude, duration in result.incident_log:
+            assert 0 <= step < total
+            assert 0 <= node < n
+            assert magnitude > 0
+            assert duration > 0
+
+    def test_incidents_increase_volatility(self, network):
+        from repro.core import moving_std
+        quiet_cfg = SimulationConfig(num_days=3, incident_rate_per_day=0.0,
+                                     missing_rate=0.0)
+        busy_cfg = SimulationConfig(num_days=3, incident_rate_per_day=8.0,
+                                    missing_rate=0.0)
+        quiet = TrafficSimulator(network, quiet_cfg, seed=13).run()
+        busy = TrafficSimulator(network, busy_cfg, seed=13).run()
+        assert (moving_std(busy.speed).mean()
+                > moving_std(quiet.speed).mean())
+
+
+class TestWeather:
+    def test_disabled_by_default(self, network):
+        a = TrafficSimulator(network, SimulationConfig(num_days=3), seed=8).run()
+        b = TrafficSimulator(
+            network, SimulationConfig(num_days=3,
+                                      bad_weather_probability=0.0),
+            seed=8).run()
+        np.testing.assert_array_equal(a.density, b.density)
+
+    def test_bad_weather_raises_density(self, network):
+        calm_cfg = SimulationConfig(num_days=5, missing_rate=0.0,
+                                    incident_rate_per_day=0.0)
+        stormy_cfg = SimulationConfig(num_days=5, missing_rate=0.0,
+                                      incident_rate_per_day=0.0,
+                                      bad_weather_probability=1.0)
+        calm = TrafficSimulator(network, calm_cfg, seed=6).run()
+        stormy = TrafficSimulator(network, stormy_cfg, seed=6).run()
+        assert stormy.density.mean() > calm.density.mean()
+
+    def test_weather_affects_whole_days(self, network):
+        """A bad-weather day is slower than the same calm day across the
+        entire daytime, not in isolated bursts."""
+        calm_cfg = SimulationConfig(num_days=2, missing_rate=0.0,
+                                    incident_rate_per_day=0.0, noise_std=0.0)
+        stormy_cfg = SimulationConfig(num_days=2, missing_rate=0.0,
+                                      incident_rate_per_day=0.0,
+                                      noise_std=0.0,
+                                      bad_weather_probability=1.0)
+        calm = TrafficSimulator(network, calm_cfg, seed=6).run()
+        stormy = TrafficSimulator(network, stormy_cfg, seed=6).run()
+        daytime = (calm.time_of_day > 0.3) & (calm.time_of_day < 0.8)
+        worse = (stormy.density[daytime] >= calm.density[daytime] - 1e-12)
+        assert worse.mean() > 0.95
+
+
+class TestConfigValidation:
+    def test_unstable_dynamics_rejected(self, network):
+        config = SimulationConfig(decay=0.8, coupling=0.3)   # sums > 1
+        with pytest.raises(ValueError, match="stable"):
+            TrafficSimulator(network, config, seed=0).run()
+
+    def test_density_speed_consistency(self, result, network):
+        valid = ~result.missing_mask
+        recovered = density_from_speed(result.speed,
+                                       network.free_flow_speed[None, :])
+        np.testing.assert_allclose(recovered[valid],
+                                   np.clip(result.density, 0, 0.95)[valid],
+                                   atol=1e-9)

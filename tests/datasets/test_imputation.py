@@ -1,0 +1,87 @@
+"""Missing-data imputers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (impute_forward_fill, impute_historical_mean,
+                            impute_linear)
+
+
+@pytest.fixture
+def gapped():
+    series = np.array([[10.0, 5.0],
+                       [0.0, 5.0],
+                       [0.0, 0.0],
+                       [40.0, 5.0],
+                       [50.0, 5.0]])
+    return series
+
+
+class TestForwardFill:
+    def test_fills_with_last_valid(self, gapped):
+        out = impute_forward_fill(gapped)
+        np.testing.assert_allclose(out[:, 0], [10, 10, 10, 40, 50])
+
+    def test_leading_gap_backfills(self):
+        series = np.array([[0.0], [0.0], [7.0], [8.0]])
+        out = impute_forward_fill(series)
+        np.testing.assert_allclose(out[:, 0], [7, 7, 7, 8])
+
+    def test_valid_entries_untouched(self, gapped):
+        out = impute_forward_fill(gapped)
+        assert out[3, 0] == 40.0
+        assert out[0, 1] == 5.0
+
+    def test_all_missing_column_unchanged(self):
+        series = np.zeros((4, 1))
+        out = impute_forward_fill(series)
+        np.testing.assert_array_equal(out, series)
+
+    def test_does_not_mutate_input(self, gapped):
+        original = gapped.copy()
+        impute_forward_fill(gapped)
+        np.testing.assert_array_equal(gapped, original)
+
+
+class TestLinear:
+    def test_interpolates_gap(self, gapped):
+        out = impute_linear(gapped)
+        np.testing.assert_allclose(out[:, 0], [10, 20, 30, 40, 50])
+
+    def test_single_interior_gap(self):
+        series = np.array([[2.0], [0.0], [4.0]])
+        out = impute_linear(series)
+        assert out[1, 0] == pytest.approx(3.0)
+
+    def test_trailing_gap_extends_flat(self):
+        series = np.array([[2.0], [4.0], [0.0]])
+        out = impute_linear(series)
+        assert out[2, 0] == pytest.approx(4.0)
+
+    def test_no_gaps_identity(self):
+        series = np.arange(1.0, 7.0).reshape(3, 2)
+        np.testing.assert_array_equal(impute_linear(series), series)
+
+
+class TestHistoricalMean:
+    def test_uses_same_slot_mean(self):
+        # two days, gap on day 2 at slot 1; slot-1 valid value is 20.
+        series = np.array([[10.0], [20.0], [10.0], [0.0]])
+        time_of_day = np.array([0.0, 0.5, 0.0, 0.5])
+        out = impute_historical_mean(series, time_of_day, steps_per_day=2)
+        assert out[3, 0] == pytest.approx(20.0)
+
+    def test_empty_slot_falls_back_to_global_mean(self):
+        series = np.array([[10.0], [0.0], [30.0]])
+        time_of_day = np.array([0.0, 0.5, 0.0])
+        out = impute_historical_mean(series, time_of_day, steps_per_day=2)
+        assert out[1, 0] == pytest.approx(20.0)
+
+    def test_realistic_world(self, ci_dataset):
+        sim = ci_dataset.simulation
+        out = impute_historical_mean(sim.speed, sim.time_of_day)
+        # all gaps filled with plausible speeds
+        filled = out[sim.missing_mask]
+        if filled.size:
+            assert filled.min() > 0.0
+            assert filled.max() < 80.0

@@ -1,0 +1,74 @@
+"""DataLoader batching semantics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DataLoader
+from repro.datasets.windows import SupervisedSplit
+
+
+@pytest.fixture
+def split():
+    n = 25
+    return SupervisedSplit(
+        x=np.arange(n * 2 * 3 * 2, dtype=float).reshape(n, 2, 3, 2),
+        y=np.arange(n * 2 * 3, dtype=float).reshape(n, 2, 3),
+        start_index=np.arange(n))
+
+
+class TestDataLoader:
+    def test_batch_count(self, split):
+        assert len(DataLoader(split, batch_size=10)) == 3
+        assert len(DataLoader(split, batch_size=10, drop_last=True)) == 2
+        assert len(DataLoader(split, batch_size=25)) == 1
+
+    def test_covers_all_samples_in_order(self, split):
+        loader = DataLoader(split, batch_size=10, shuffle=False)
+        starts = np.concatenate([s for _, _, s in loader])
+        np.testing.assert_array_equal(starts, np.arange(25))
+
+    def test_batch_shapes(self, split):
+        loader = DataLoader(split, batch_size=10)
+        x, y, s = next(iter(loader))
+        assert x.shape == (10, 2, 3, 2)
+        assert y.shape == (10, 2, 3)
+        assert s.shape == (10,)
+
+    def test_last_partial_batch(self, split):
+        batches = list(DataLoader(split, batch_size=10))
+        assert batches[-1][0].shape[0] == 5
+
+    def test_drop_last(self, split):
+        batches = list(DataLoader(split, batch_size=10, drop_last=True))
+        assert all(b[0].shape[0] == 10 for b in batches)
+        assert len(batches) == 2
+
+    def test_shuffle_is_permutation(self, split):
+        loader = DataLoader(split, batch_size=7, shuffle=True, seed=1)
+        starts = np.concatenate([s for _, _, s in loader])
+        assert sorted(starts.tolist()) == list(range(25))
+        assert not np.array_equal(starts, np.arange(25))
+
+    def test_shuffle_seed_reproducible(self, split):
+        a = np.concatenate([s for _, _, s in
+                            DataLoader(split, batch_size=7, shuffle=True, seed=3)])
+        b = np.concatenate([s for _, _, s in
+                            DataLoader(split, batch_size=7, shuffle=True, seed=3)])
+        np.testing.assert_array_equal(a, b)
+
+    def test_shuffle_advances_between_epochs(self, split):
+        loader = DataLoader(split, batch_size=7, shuffle=True, seed=3)
+        epoch1 = np.concatenate([s for _, _, s in loader])
+        epoch2 = np.concatenate([s for _, _, s in loader])
+        assert not np.array_equal(epoch1, epoch2)
+
+    def test_x_y_stay_aligned_under_shuffle(self, split):
+        loader = DataLoader(split, batch_size=5, shuffle=True, seed=0)
+        for x, y, s in loader:
+            for i, start in enumerate(s):
+                np.testing.assert_array_equal(x[i], split.x[start])
+                np.testing.assert_array_equal(y[i], split.y[start])
+
+    def test_invalid_batch_size(self, split):
+        with pytest.raises(ValueError):
+            DataLoader(split, batch_size=0)

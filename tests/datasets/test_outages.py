@@ -1,0 +1,57 @@
+"""Sensor-outage (block missingness) modelling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SimulationConfig, TrafficSimulator
+from repro.graph import build_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_network(6, seed=1)
+
+
+class TestOutages:
+    def test_disabled_by_default(self, network):
+        config = SimulationConfig(num_days=2, missing_rate=0.0)
+        sim = TrafficSimulator(network, config, seed=0).run()
+        assert sim.missing_mask.sum() == 0
+
+    def test_outages_increase_missingness(self, network):
+        base = SimulationConfig(num_days=3, missing_rate=0.0)
+        with_outages = SimulationConfig(num_days=3, missing_rate=0.0,
+                                        outage_rate_per_day=1.0)
+        quiet = TrafficSimulator(network, base, seed=2).run()
+        noisy = TrafficSimulator(network, with_outages, seed=2).run()
+        assert noisy.missing_mask.mean() > quiet.missing_mask.mean()
+
+    def test_outages_are_contiguous_blocks(self, network):
+        config = SimulationConfig(num_days=3, missing_rate=0.0,
+                                  outage_rate_per_day=0.5,
+                                  outage_duration_steps=(24, 48))
+        sim = TrafficSimulator(network, config, seed=2).run()
+        run_lengths = []
+        for node in range(network.num_nodes):
+            column = sim.missing_mask[:, node].astype(int)
+            edges = np.diff(column)
+            starts = np.where(edges == 1)[0]
+            stops = np.where(edges == -1)[0]
+            run_lengths += [stop - start
+                            for start, stop in zip(starts, stops)]
+        if run_lengths:
+            # block missingness: mean run length far above i.i.d. (~1 step)
+            assert np.mean(run_lengths) > 10
+
+    def test_outage_readings_zero(self, network):
+        config = SimulationConfig(num_days=2, missing_rate=0.0,
+                                  outage_rate_per_day=2.0)
+        sim = TrafficSimulator(network, config, seed=5).run()
+        assert sim.missing_mask.any()
+        assert np.all(sim.speed[sim.missing_mask] == 0.0)
+
+    def test_deterministic(self, network):
+        config = SimulationConfig(num_days=2, outage_rate_per_day=1.0)
+        a = TrafficSimulator(network, config, seed=9).run()
+        b = TrafficSimulator(network, config, seed=9).run()
+        np.testing.assert_array_equal(a.missing_mask, b.missing_mask)

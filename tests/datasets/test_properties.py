@@ -1,0 +1,83 @@
+"""Property-based tests on the data pipeline (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (MinMaxScaler, SimulationConfig, StandardScaler,
+                            TrafficSimulator, WindowConfig, make_windows)
+from repro.graph import build_network
+
+SETTINGS = dict(max_examples=20, deadline=None)
+
+
+@given(st.integers(0, 10_000), st.floats(0.2, 0.6), st.floats(0.05, 0.35))
+@settings(max_examples=10, deadline=None)
+def test_simulator_bounds_hold_for_any_config(seed, rush, coupling):
+    """Whatever the (stable) config, densities stay in [0, 0.95] and
+    speeds in [0, free-flow]."""
+    network = build_network(6, seed=seed % 97)
+    config = SimulationConfig(num_days=2, rush_intensity=rush,
+                              coupling=coupling,
+                              decay=min(0.9 - coupling, 0.7))
+    sim = TrafficSimulator(network, config, seed=seed).run()
+    assert sim.density.min() >= 0.0
+    assert sim.density.max() <= 0.95
+    valid = ~sim.missing_mask
+    assert sim.speed[valid].min() >= 0.0
+
+
+@given(st.integers(6, 12), st.integers(3, 12), st.integers(0, 1000))
+@settings(**SETTINGS)
+def test_window_alignment_any_config(history, horizon, seed):
+    """x/y windows tile the series correctly for any (T', T)."""
+    rng = np.random.default_rng(seed)
+    total = 40 + history + horizon + 60
+    series = rng.uniform(20, 70, size=(total * 3, 2))
+    time_of_day = (np.arange(len(series)) % 288) / 288.0
+    config = WindowConfig(history=history, horizon=horizon)
+    data = make_windows(series, time_of_day, config)
+    split = data.train
+    sample = min(3, split.num_samples - 1)
+    start = split.start_index[sample]
+    np.testing.assert_allclose(split.y[sample], series[start:start + horizon])
+    np.testing.assert_allclose(
+        split.x[sample, :, :, 0],
+        data.scaler.transform(series[start - history:start]))
+
+
+@given(st.lists(st.floats(1, 1000, allow_nan=False), min_size=3, max_size=60))
+@settings(**SETTINGS)
+def test_standard_scaler_roundtrip_property(values):
+    data = np.asarray(values)
+    scaler = StandardScaler(null_value=None).fit(data)
+    np.testing.assert_allclose(
+        scaler.inverse_transform(scaler.transform(data)), data,
+        rtol=1e-9, atol=1e-6)
+
+
+@given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=2,
+                max_size=60))
+@settings(**SETTINGS)
+def test_minmax_scaler_output_bounded(values):
+    data = np.asarray(values)
+    scaler = MinMaxScaler().fit(data)
+    out = scaler.transform(data)
+    assert out.min() >= -1e-12
+    assert out.max() <= 1.0 + 1e-12
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=10, deadline=None)
+def test_splits_are_disjoint_and_ordered(seed):
+    rng = np.random.default_rng(seed)
+    series = rng.uniform(10, 80, size=(500, 3))
+    time_of_day = (np.arange(500) % 288) / 288.0
+    data = make_windows(series, time_of_day)
+    train_last = data.train.start_index.max()
+    val_first = data.val.start_index.min()
+    val_last = data.val.start_index.max()
+    test_first = data.test.start_index.min()
+    assert train_last < val_first
+    assert val_last < test_first

@@ -1,0 +1,133 @@
+"""Sliding-window dataset: alignment, splits, scaling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (MinMaxScaler, StandardScaler, WindowConfig,
+                            make_windows)
+
+
+@pytest.fixture
+def series():
+    rng = np.random.default_rng(0)
+    total, nodes = 600, 4
+    base = 50 + 10 * np.sin(np.arange(total) / 30.0)[:, None]
+    return base + rng.normal(0, 1, size=(total, nodes))
+
+
+@pytest.fixture
+def time_of_day(series):
+    return (np.arange(len(series)) % 288) / 288.0
+
+
+class TestMakeWindows:
+    def test_shapes(self, series, time_of_day):
+        data = make_windows(series, time_of_day)
+        assert data.train.x.shape[1:] == (12, 4, 2)
+        assert data.train.y.shape[1:] == (12, 4)
+        assert data.train.x.shape[0] == data.train.y.shape[0]
+
+    def test_split_ratios_chronological(self, series, time_of_day):
+        data = make_windows(series, time_of_day)
+        # Train windows end before val windows start, etc.
+        assert data.train.start_index.max() < data.val.start_index.min()
+        assert data.val.start_index.max() < data.test.start_index.min()
+
+    def test_x_y_alignment(self, series, time_of_day):
+        """x window covers [s, s+12), y covers [s+12, s+24) of the series."""
+        data = make_windows(series, time_of_day)
+        split = data.train
+        s = split.start_index[5]                  # index of first target step
+        np.testing.assert_allclose(split.y[5], series[s:s + 12])
+        expected_x = data.scaler.transform(series[s - 12:s])
+        np.testing.assert_allclose(split.x[5, :, :, 0], expected_x)
+
+    def test_time_feature_is_minmax_scaled(self, series, time_of_day):
+        data = make_windows(series, time_of_day)
+        assert data.train.x[:, :, :, 1].min() >= 0.0
+        assert data.train.x[:, :, :, 1].max() <= 1.0
+
+    def test_scaler_fit_on_train_only(self, series, time_of_day):
+        # Make the test region wildly different; the scaler must not see it.
+        series = series.copy()
+        series[500:] += 1000.0
+        data = make_windows(series, time_of_day)
+        assert data.scaler.mean < 100.0
+
+    def test_custom_window_config(self, series, time_of_day):
+        config = WindowConfig(history=6, horizon=3)
+        data = make_windows(series, time_of_day, config)
+        assert data.train.x.shape[1] == 6
+        assert data.train.y.shape[1] == 3
+
+    def test_scaled_feature_near_standard(self, series, time_of_day):
+        data = make_windows(series, time_of_day)
+        values = data.train.x[:, :, :, 0]
+        assert abs(values.mean()) < 0.5
+        assert 0.5 < values.std() < 2.0
+
+    def test_errors(self, time_of_day):
+        with pytest.raises(ValueError, match=r"\(T, N\)"):
+            make_windows(np.zeros(100), time_of_day[:100])
+        with pytest.raises(ValueError, match="length"):
+            make_windows(np.zeros((100, 3)), time_of_day[:50])
+        with pytest.raises(ValueError, match="too short"):
+            make_windows(np.zeros((20, 3)), time_of_day[:20])
+
+
+class TestStandardScaler:
+    def test_roundtrip(self):
+        scaler = StandardScaler(null_value=None)
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(
+            scaler.fit(data).inverse_transform(scaler.transform(data)), data)
+
+    def test_excludes_nulls_from_fit(self):
+        scaler = StandardScaler(null_value=0.0)
+        data = np.array([0.0, 0.0, 10.0, 20.0])
+        scaler.fit(data)
+        assert scaler.mean == pytest.approx(15.0)
+
+    def test_zero_std_guard(self):
+        scaler = StandardScaler(null_value=None).fit(np.array([5.0, 5.0]))
+        assert scaler.std == 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros(3))
+
+    def test_all_null_raises(self):
+        with pytest.raises(ValueError):
+            StandardScaler(null_value=0.0).fit(np.zeros(5))
+
+    def test_fit_transform(self):
+        scaler = StandardScaler(null_value=None)
+        out = scaler.fit_transform(np.array([1.0, 3.0]))
+        np.testing.assert_allclose(out, [-1.0, 1.0])
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self):
+        scaler = MinMaxScaler()
+        out = scaler.fit_transform(np.array([10.0, 20.0, 30.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_roundtrip(self):
+        scaler = MinMaxScaler()
+        data = np.array([3.0, 7.0, 11.0])
+        scaler.fit(data)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_constant_data_guard(self):
+        scaler = MinMaxScaler().fit(np.array([4.0, 4.0]))
+        out = scaler.transform(np.array([4.0]))
+        assert np.isfinite(out).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros(2))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit(np.array([]))

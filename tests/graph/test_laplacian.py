@@ -1,0 +1,98 @@
+"""Spectral/diffusion operators: Laplacian, Chebyshev basis, random walks."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (chebyshev_polynomials, dual_random_walk,
+                         normalized_laplacian, random_walk_matrix,
+                         reverse_random_walk_matrix, scaled_laplacian)
+
+
+class TestNormalizedLaplacian:
+    def test_symmetric(self, small_adjacency):
+        lap = normalized_laplacian(small_adjacency)
+        np.testing.assert_allclose(lap, lap.T, atol=1e-12)
+
+    def test_eigenvalues_in_zero_two(self, small_adjacency):
+        lap = normalized_laplacian(small_adjacency)
+        eigenvalues = np.linalg.eigvalsh(lap)
+        assert eigenvalues.min() >= -1e-9
+        assert eigenvalues.max() <= 2.0 + 1e-9
+
+    def test_constant_vector_in_nullspace(self, small_adjacency):
+        # For a connected graph, L @ D^{1/2} 1 = 0 (for symmetric normalised
+        # Laplacian the null vector is D^{1/2} 1).
+        weights = np.maximum(small_adjacency, small_adjacency.T)
+        degree = weights.sum(axis=1)
+        null_vec = np.sqrt(degree)
+        lap = normalized_laplacian(small_adjacency)
+        np.testing.assert_allclose(lap @ null_vec, 0.0, atol=1e-9)
+
+
+class TestScaledLaplacian:
+    def test_eigenvalues_in_unit_ball(self, small_adjacency):
+        scaled = scaled_laplacian(small_adjacency)
+        eigenvalues = np.linalg.eigvalsh(scaled)
+        assert eigenvalues.min() >= -1.0 - 1e-9
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_custom_lambda_max(self, small_adjacency):
+        scaled = scaled_laplacian(small_adjacency, lambda_max=2.0)
+        lap = normalized_laplacian(small_adjacency)
+        np.testing.assert_allclose(scaled, lap - np.eye(len(lap)), atol=1e-12)
+
+
+class TestChebyshev:
+    def test_first_terms(self, small_adjacency):
+        polys = chebyshev_polynomials(small_adjacency, 3)
+        n = small_adjacency.shape[0]
+        np.testing.assert_array_equal(polys[0], np.eye(n))
+        scaled = scaled_laplacian(small_adjacency)
+        np.testing.assert_allclose(polys[1], scaled, atol=1e-12)
+
+    def test_recurrence(self, small_adjacency):
+        polys = chebyshev_polynomials(small_adjacency, 5)
+        scaled = scaled_laplacian(small_adjacency)
+        for k in range(2, 5):
+            expected = 2.0 * scaled @ polys[k - 1] - polys[k - 2]
+            np.testing.assert_allclose(polys[k], expected, atol=1e-9)
+
+    def test_order_count(self, small_adjacency):
+        assert len(chebyshev_polynomials(small_adjacency, 4)) == 4
+
+    def test_order_one_is_identity_only(self, small_adjacency):
+        polys = chebyshev_polynomials(small_adjacency, 1)
+        assert len(polys) == 1
+
+    def test_invalid_order(self, small_adjacency):
+        with pytest.raises(ValueError):
+            chebyshev_polynomials(small_adjacency, 0)
+
+
+class TestRandomWalk:
+    def test_rows_are_distributions(self, small_adjacency):
+        walk = random_walk_matrix(small_adjacency)
+        sums = walk.sum(axis=1)
+        active = small_adjacency.sum(axis=1) > 0
+        np.testing.assert_allclose(sums[active], 1.0)
+        assert np.all(walk >= 0)
+
+    def test_reverse_uses_transpose(self, small_adjacency):
+        reverse = reverse_random_walk_matrix(small_adjacency)
+        expected = random_walk_matrix(small_adjacency.T)
+        np.testing.assert_array_equal(reverse, expected)
+
+    def test_dual_returns_both(self, small_adjacency):
+        forward, backward = dual_random_walk(small_adjacency)
+        np.testing.assert_array_equal(forward,
+                                      random_walk_matrix(small_adjacency))
+        np.testing.assert_array_equal(
+            backward, reverse_random_walk_matrix(small_adjacency))
+
+    def test_walk_preserves_probability_mass(self, small_adjacency):
+        walk = random_walk_matrix(small_adjacency)
+        distribution = np.full(len(walk), 1.0 / len(walk))
+        stepped = distribution @ walk
+        # mass is conserved when every node has outgoing edges
+        if np.all(small_adjacency.sum(axis=1) > 0):
+            assert stepped.sum() == pytest.approx(1.0)

@@ -1,0 +1,77 @@
+"""Road-network construction: topologies, connectivity, attributes."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import build_network
+
+
+class TestBuildNetwork:
+    @pytest.mark.parametrize("topology", ["corridor", "grid", "radial"])
+    def test_topologies_build(self, topology):
+        network = build_network(12, topology=topology, seed=0)
+        assert network.num_nodes == 12
+        assert network.graph.number_of_edges() > 0
+
+    @pytest.mark.parametrize("topology", ["corridor", "grid", "radial"])
+    def test_weakly_connected(self, topology):
+        network = build_network(15, topology=topology, seed=1)
+        assert nx.is_connected(network.graph.to_undirected())
+
+    def test_deterministic_by_seed(self):
+        a = build_network(10, seed=42)
+        b = build_network(10, seed=42)
+        assert set(a.graph.edges) == set(b.graph.edges)
+        np.testing.assert_array_equal(a.free_flow_speed, b.free_flow_speed)
+
+    def test_different_seeds_differ(self):
+        a = build_network(10, seed=1)
+        b = build_network(10, seed=2)
+        assert not np.allclose(a.free_flow_speed, b.free_flow_speed)
+
+    def test_attribute_shapes_and_ranges(self):
+        network = build_network(9, seed=0)
+        assert network.positions.shape == (9, 2)
+        assert network.free_flow_speed.shape == (9,)
+        assert np.all(network.free_flow_speed >= 55.0)
+        assert np.all(network.free_flow_speed <= 70.0)
+        assert np.all(network.capacity > 0)
+
+    def test_edges_have_positive_distances(self):
+        network = build_network(10, topology="grid", seed=0)
+        for _, _, attrs in network.graph.edges(data=True):
+            assert attrs["distance"] > 0
+
+    def test_too_few_nodes_raises(self):
+        with pytest.raises(ValueError):
+            build_network(1)
+
+    def test_unknown_topology_raises(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            build_network(10, topology="mobius")
+
+
+class TestDistanceMatrix:
+    def test_diagonal_zero(self, small_network):
+        dist = small_network.distance_matrix()
+        np.testing.assert_array_equal(np.diag(dist), 0.0)
+
+    def test_triangle_inequality_on_finite(self, small_network):
+        dist = small_network.distance_matrix()
+        n = small_network.num_nodes
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    if all(np.isfinite([dist[i, j], dist[i, k], dist[k, j]])):
+                        assert dist[i, j] <= dist[i, k] + dist[k, j] + 1e-9
+
+    def test_direct_edge_bounds_shortest_path(self, small_network):
+        dist = small_network.distance_matrix()
+        for src, dst, attrs in small_network.graph.edges(data=True):
+            assert dist[src, dst] <= attrs["distance"] + 1e-9
+
+    def test_downstream_hops_matches_graph(self, small_network):
+        hops = small_network.downstream_hops()
+        for node, successors in hops.items():
+            assert set(successors) == set(small_network.graph.successors(node))

@@ -1,0 +1,112 @@
+"""Ablation switches: STGCN one-shot head, Graph-WaveNet fixed graph,
+and the day-of-week third input feature."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import WindowConfig, load_dataset
+from repro.models import create_model
+from repro.nn import Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def data(ci_dataset):
+    x = Tensor(ci_dataset.supervised.train.x[:3])
+    y_scaled = Tensor(ci_dataset.supervised.scaler.transform(
+        ci_dataset.supervised.train.y[:3]))
+    return ci_dataset, x, y_scaled
+
+
+class TestSTGCNMultiStepHead:
+    def test_one_shot_forward_shape(self, data):
+        ds, x, _ = data
+        model = create_model("stgcn", ds.num_nodes, ds.adjacency, seed=0,
+                             multi_step_head=True)
+        with no_grad():
+            model.eval()
+            out = model(x)
+        assert out.shape == (3, 12, ds.num_nodes)
+
+    def test_training_supervises_all_steps(self, data):
+        ds, x, y_scaled = data
+        model = create_model("stgcn", ds.num_nodes, ds.adjacency, seed=0,
+                             multi_step_head=True)
+        loss_a = model.training_loss(x, y_scaled).item()
+        perturbed = Tensor(np.array(y_scaled.data))
+        perturbed.data[:, -1] += 100.0
+        loss_b = model.training_loss(x, perturbed).item()
+        assert loss_a != pytest.approx(loss_b)   # later steps now matter
+
+    def test_one_shot_has_more_head_params(self, data):
+        ds, _, _ = data
+        recursive = create_model("stgcn", ds.num_nodes, ds.adjacency, seed=0)
+        one_shot = create_model("stgcn", ds.num_nodes, ds.adjacency, seed=0,
+                                multi_step_head=True)
+        assert one_shot.num_parameters() > recursive.num_parameters()
+
+    def test_gradients_flow(self, data):
+        ds, x, y_scaled = data
+        model = create_model("stgcn", ds.num_nodes, ds.adjacency, seed=0,
+                             multi_step_head=True)
+        model.training_loss(x, y_scaled).backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestGWNetFixedGraph:
+    def test_no_adaptive_params(self, data):
+        ds, _, _ = data
+        fixed = create_model("graph-wavenet", ds.num_nodes, ds.adjacency,
+                             seed=0, adaptive_adjacency=False)
+        names = [n for n, _ in fixed.named_parameters()]
+        assert not any("embed_source" in n or "embed_target" in n
+                       for n in names)
+
+    def test_fewer_params_than_adaptive(self, data):
+        ds, _, _ = data
+        adaptive = create_model("graph-wavenet", ds.num_nodes, ds.adjacency,
+                                seed=0)
+        fixed = create_model("graph-wavenet", ds.num_nodes, ds.adjacency,
+                             seed=0, adaptive_adjacency=False)
+        assert fixed.num_parameters() < adaptive.num_parameters()
+
+    def test_forward_and_gradients(self, data):
+        ds, x, y_scaled = data
+        fixed = create_model("graph-wavenet", ds.num_nodes, ds.adjacency,
+                             seed=0, adaptive_adjacency=False)
+        loss = fixed.training_loss(x, y_scaled)
+        loss.backward()
+        assert all(p.grad is not None for p in fixed.parameters())
+
+    def test_adaptive_accessor_raises_when_disabled(self, data):
+        ds, _, _ = data
+        fixed = create_model("graph-wavenet", ds.num_nodes, ds.adjacency,
+                             seed=0, adaptive_adjacency=False)
+        with pytest.raises(RuntimeError):
+            fixed.blocks[0].graph_conv.adaptive_adjacency()
+
+
+class TestDayOfWeekFeature:
+    def test_third_feature_present(self):
+        data = load_dataset("pemsd8", scale="ci",
+                            window=WindowConfig(include_day_of_week=True))
+        assert data.supervised.train.x.shape[-1] == 3
+        feature = data.supervised.train.x[:, :, :, 2]
+        assert feature.min() >= 0.0
+        assert feature.max() <= 1.0
+
+    def test_models_accept_three_features(self):
+        from repro.core import TrainingConfig, run_experiment
+        data = load_dataset("pemsd8", scale="ci",
+                            window=WindowConfig(include_day_of_week=True))
+        result = run_experiment("stg2seq", data,
+                                TrainingConfig(epochs=1,
+                                               max_batches_per_epoch=2),
+                                seed=0)
+        assert np.isfinite(result.evaluation.full[15].mae)
+
+    def test_requires_day_array(self):
+        from repro.datasets import make_windows
+        with pytest.raises(ValueError, match="day_of_week"):
+            make_windows(np.random.default_rng(0).normal(50, 5, (300, 3)),
+                         (np.arange(300) % 288) / 288,
+                         WindowConfig(include_day_of_week=True))

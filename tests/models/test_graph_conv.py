@@ -1,0 +1,98 @@
+"""Shared graph-convolution building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.models.graph_conv import (ChebConv, DiffusionConv, cheb_supports,
+                                     diffusion_supports)
+from repro.nn import Tensor
+
+from ..conftest import numerical_gradient
+
+
+@pytest.fixture
+def gen():
+    return np.random.default_rng(5)
+
+
+class TestSupports:
+    def test_diffusion_support_count(self, small_adjacency):
+        supports = diffusion_supports(small_adjacency, max_step=2)
+        assert len(supports) == 5          # I + 2 forward + 2 backward
+        np.testing.assert_array_equal(supports[0],
+                                      np.eye(small_adjacency.shape[0]))
+
+    def test_diffusion_powers(self, small_adjacency):
+        supports = diffusion_supports(small_adjacency, max_step=2)
+        np.testing.assert_allclose(supports[2], supports[1] @ supports[1],
+                                   atol=1e-12)
+
+    def test_diffusion_rows_substochastic(self, small_adjacency):
+        for support in diffusion_supports(small_adjacency, 2):
+            sums = support.sum(axis=1)
+            assert np.all(sums <= 1.0 + 1e-9)
+
+    def test_cheb_support_count(self, small_adjacency):
+        assert len(cheb_supports(small_adjacency, 3)) == 3
+
+
+class TestChebConv:
+    def test_shape(self, small_adjacency, gen):
+        n = small_adjacency.shape[0]
+        conv = ChebConv(small_adjacency, 4, 7, order=3, rng=gen)
+        out = conv(Tensor(np.zeros((2, 5, n, 4))))
+        assert out.shape == (2, 5, n, 7)
+
+    def test_param_count(self, small_adjacency, gen):
+        conv = ChebConv(small_adjacency, 4, 7, order=3, rng=gen)
+        assert conv.num_parameters() == 3 * 4 * 7 + 7
+
+    def test_gradcheck(self, small_adjacency, gen):
+        n = small_adjacency.shape[0]
+        conv = ChebConv(small_adjacency, 2, 3, order=2, rng=gen)
+        x_data = gen.normal(size=(1, n, 2))
+        x = Tensor(x_data.copy(), requires_grad=True)
+        conv(x).sum().backward()
+
+        def value():
+            return float(conv(Tensor(x_data)).data.sum())
+
+        np.testing.assert_allclose(x.grad, numerical_gradient(value, x_data),
+                                   atol=1e-5)
+
+    def test_node_count_validated(self, small_adjacency, gen):
+        conv = ChebConv(small_adjacency, 2, 3, rng=gen)
+        with pytest.raises(ValueError, match="nodes"):
+            conv(Tensor(np.zeros((1, small_adjacency.shape[0] + 1, 2))))
+
+
+class TestDiffusionConv:
+    def test_shape(self, small_adjacency, gen):
+        n = small_adjacency.shape[0]
+        conv = DiffusionConv(small_adjacency, 3, 5, max_step=2, rng=gen)
+        out = conv(Tensor(np.zeros((4, n, 3))))
+        assert out.shape == (4, n, 5)
+
+    def test_information_propagates_one_hop(self, small_adjacency, gen):
+        """Perturbing one node changes outputs at graph neighbours."""
+        n = small_adjacency.shape[0]
+        conv = DiffusionConv(small_adjacency, 1, 1, max_step=1, rng=gen)
+        base = conv(Tensor(np.zeros((1, n, 1)))).data
+        bumped_in = np.zeros((1, n, 1))
+        bumped_in[0, 0, 0] = 1.0
+        bumped = conv(Tensor(bumped_in)).data
+        delta = np.abs(bumped - base)[0, :, 0]
+        neighbours = np.where(small_adjacency[:, 0] > 0)[0]
+        affected = np.where(delta > 1e-12)[0]
+        assert 0 in affected                        # self (identity support)
+        for node in affected:
+            assert (node == 0 or small_adjacency[node, 0] > 0
+                    or small_adjacency[0, node] > 0)
+
+    def test_all_params_get_grads(self, small_adjacency, gen):
+        n = small_adjacency.shape[0]
+        conv = DiffusionConv(small_adjacency, 2, 2, rng=gen)
+        x = Tensor(gen.normal(size=(2, n, 2)))
+        conv(x).sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.bias.grad is not None

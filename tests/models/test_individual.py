@@ -1,0 +1,207 @@
+"""Model-specific behaviour: the architectural traits the paper discusses."""
+
+import numpy as np
+import pytest
+
+from repro.models import create_model
+from repro.models.stsgcn import _block_adjacency
+from repro.nn import Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def data(ci_dataset):
+    x = Tensor(ci_dataset.supervised.train.x[:3])
+    y_scaled = Tensor(ci_dataset.supervised.scaler.transform(
+        ci_dataset.supervised.train.y[:3]))
+    return ci_dataset, x, y_scaled
+
+
+class TestSTGCN:
+    def test_training_supervises_single_step(self, data):
+        """Many-to-one: the training loss only depends on the first target."""
+        ds, x, y_scaled = data
+        model = create_model("stgcn", ds.num_nodes, ds.adjacency, seed=0)
+        loss_a = model.training_loss(x, y_scaled).item()
+        perturbed = Tensor(np.array(y_scaled.data))
+        perturbed.data[:, 1:] += 100.0          # later steps should not matter
+        loss_b = model.training_loss(x, perturbed).item()
+        assert loss_a == pytest.approx(loss_b)
+
+    def test_recursive_rollout_first_step_matches_single(self, data):
+        ds, x, _ = data
+        model = create_model("stgcn", ds.num_nodes, ds.adjacency, seed=0)
+        with no_grad():
+            model.eval()
+            rollout = model(x)
+            single = model._single_step(x)
+        np.testing.assert_allclose(rollout.data[:, 0], single.data, atol=1e-10)
+
+    def test_too_short_history_rejected(self, data):
+        ds, _, _ = data
+        with pytest.raises(ValueError, match="too short"):
+            create_model("stgcn", ds.num_nodes, ds.adjacency, history=6)
+
+
+class TestDCRNN:
+    def test_teacher_forcing_changes_training_loss_path(self, data):
+        ds, x, y_scaled = data
+        always = create_model("dcrnn", ds.num_nodes, ds.adjacency, seed=0,
+                              tf_ratio=1.0)
+        never = create_model("dcrnn", ds.num_nodes, ds.adjacency, seed=0,
+                             tf_ratio=0.0)
+        never.load_state_dict(always.state_dict())
+        loss_tf = always.training_loss(x, y_scaled).item()
+        loss_free = never.training_loss(x, y_scaled).item()
+        assert loss_tf != pytest.approx(loss_free)
+
+    def test_no_teacher_forcing_at_eval(self, data):
+        """forward() must be deterministic regardless of tf settings."""
+        ds, x, _ = data
+        model = create_model("dcrnn", ds.num_nodes, ds.adjacency, seed=0,
+                             tf_ratio=1.0)
+        with no_grad():
+            model.eval()
+            a = model(x).data
+            b = model(x).data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGraphWaveNet:
+    def test_adaptive_adjacency_is_row_stochastic(self, data):
+        ds, _, _ = data
+        model = create_model("graph-wavenet", ds.num_nodes, ds.adjacency, seed=0)
+        adaptive = model.blocks[0].graph_conv.adaptive_adjacency()
+        np.testing.assert_allclose(adaptive.data.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(adaptive.data >= 0)
+
+    def test_receptive_field_covers_history(self, data):
+        ds, _, _ = data
+        model = create_model("graph-wavenet", ds.num_nodes, ds.adjacency, seed=0)
+        assert model.receptive_field >= model.history
+
+    def test_one_shot_multi_horizon(self, data):
+        """All horizons come from one forward pass: perturbing any input step
+        can affect every output step (no autoregressive loop)."""
+        ds, x, _ = data
+        model = create_model("graph-wavenet", ds.num_nodes, ds.adjacency, seed=0)
+        with no_grad():
+            model.eval()
+            base = model(x).data
+            bumped = Tensor(np.array(x.data))
+            bumped.data[:, 0, :, 0] += 1.0
+            out = model(bumped).data
+        assert np.abs(out - base).max() > 0
+
+
+class TestSTSGCN:
+    def test_block_adjacency_structure(self):
+        adjacency = np.array([[0.0, 1.0], [1.0, 0.0]])
+        block = _block_adjacency(adjacency)
+        assert block.shape == (6, 6)
+        n = 2
+        # temporal identity connections
+        np.testing.assert_array_equal(block[0:n, n:2 * n], np.eye(n))
+        np.testing.assert_array_equal(block[2 * n:3 * n, n:2 * n], np.eye(n))
+        # no connections skipping two steps
+        np.testing.assert_array_equal(block[0:n, 2 * n:3 * n], np.zeros((n, n)))
+
+    def test_has_per_horizon_heads(self, data):
+        ds, _, _ = data
+        model = create_model("stsgcn", ds.num_nodes, ds.adjacency, seed=0)
+        assert len(model.heads) == 12
+
+    def test_largest_parameter_count_among_gcns(self, data):
+        """Table III: STSGCN has the most parameters (per-step modules)."""
+        ds, _, _ = data
+        stsgcn = create_model("stsgcn", ds.num_nodes, ds.adjacency, seed=0)
+        for other in ("stgcn", "stg2seq", "graph-wavenet"):
+            model = create_model(other, ds.num_nodes, ds.adjacency, seed=0)
+            assert stsgcn.num_parameters() > model.num_parameters()
+
+    def test_history_too_short_for_layers(self, data):
+        ds, _, _ = data
+        with pytest.raises(ValueError, match="too short"):
+            create_model("stsgcn", ds.num_nodes, ds.adjacency, history=4,
+                         num_layers=2)
+
+
+class TestGMAN:
+    def test_future_time_embedding_wraps_midnight(self, data):
+        ds, _, _ = data
+        model = create_model("gman", ds.num_nodes, ds.adjacency, seed=0)
+        # Window ending at the last slot of the day: future slots must wrap.
+        x = np.zeros((1, 12, ds.num_nodes, 2))
+        x[0, :, :, 1] = np.linspace(276 / 288, 287 / 288, 12)[:, None]
+        ste_hist, ste_future = model._st_embeddings(Tensor(x))
+        assert ste_future.shape == (1, 12, ds.num_nodes, model.d_model)
+
+    def test_transform_attention_changes_time_axis(self, data):
+        ds, _, _ = data
+        model = create_model("gman", ds.num_nodes, ds.adjacency, seed=0,
+                             horizon=6)
+        x = Tensor(np.zeros((2, 12, ds.num_nodes, 2)))
+        with no_grad():
+            model.eval()
+            out = model(x)
+        assert out.shape == (2, 6, ds.num_nodes)
+
+
+class TestSTMetaNet:
+    def test_static_features_standardised(self, data):
+        from repro.models.stmetanet import _node_static_features
+        ds, _, _ = data
+        feats = _node_static_features(ds.adjacency)
+        assert feats.shape == (ds.num_nodes, 4)
+        np.testing.assert_allclose(feats.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_meta_weights_differ_across_nodes(self, data):
+        """The defining trait: generated weights are node-specific."""
+        ds, _, _ = data
+        model = create_model("st-metanet", ds.num_nodes, ds.adjacency, seed=0)
+        meta = model._meta()
+        generated = model.encoder.meta_gates(meta).data
+        # at least two nodes get different generated weights
+        assert np.abs(generated - generated[0]).max() > 1e-6
+
+
+class TestASTGCN:
+    def test_attention_matrices_are_distributions(self, data):
+        ds, x, _ = data
+        model = create_model("astgcn", ds.num_nodes, ds.adjacency, seed=0)
+        block = model.blocks[0]
+        inp = x.transpose(0, 2, 3, 1)       # (B, N, F, T)
+        spatial = block.spatial_attention(inp)
+        temporal = block.temporal_attention(inp)
+        np.testing.assert_allclose(spatial.data.sum(axis=-1), 1.0, atol=1e-9)
+        np.testing.assert_allclose(temporal.data.sum(axis=-1), 1.0, atol=1e-9)
+
+
+class TestBaselines:
+    def test_last_value_exact(self, data):
+        ds, x, _ = data
+        model = create_model("last-value", ds.num_nodes, ds.adjacency)
+        with no_grad():
+            out = model(x)
+        for t in range(12):
+            np.testing.assert_array_equal(out.data[:, t], x.data[:, -1, :, 0])
+
+    def test_historical_average_exact(self, data):
+        ds, x, _ = data
+        model = create_model("historical-average", ds.num_nodes, ds.adjacency)
+        with no_grad():
+            out = model(x)
+        np.testing.assert_allclose(out.data[:, 0], x.data[:, :, :, 0].mean(axis=1))
+
+    def test_baselines_have_no_trainable_loss(self, data):
+        ds, x, y = data
+        for name in ("last-value", "historical-average"):
+            model = create_model(name, ds.num_nodes, ds.adjacency)
+            loss = model.training_loss(x, y)
+            assert not loss.requires_grad
+
+    def test_linear_baseline_trains(self, data):
+        ds, x, y = data
+        model = create_model("linear", ds.num_nodes, ds.adjacency, seed=0)
+        loss = model.training_loss(x, y)
+        loss.backward()
+        assert model.fc.weight.grad is not None

@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor, functional as F
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+finite_arrays = arrays(
+    dtype=np.float64,
+    shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5),
+    elements=st.floats(-10, 10, allow_nan=False, allow_infinity=False))
+
+
+@given(finite_arrays)
+@settings(**SETTINGS)
+def test_sum_gradient_is_ones(data):
+    x = Tensor(data.copy(), requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+
+@given(finite_arrays, st.floats(-5, 5, allow_nan=False))
+@settings(**SETTINGS)
+def test_scalar_multiplication_scales_gradient(data, scale):
+    x = Tensor(data.copy(), requires_grad=True)
+    (x * scale).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(data, scale), atol=1e-12)
+
+
+@given(finite_arrays)
+@settings(**SETTINGS)
+def test_linearity_of_gradients(data):
+    # grad(f + g) == grad(f) + grad(g)
+    x1 = Tensor(data.copy(), requires_grad=True)
+    ((x1 * 2.0).sum() + (x1 * x1).sum()).backward()
+
+    x2 = Tensor(data.copy(), requires_grad=True)
+    (x2 * 2.0).sum().backward()
+    (x2 * x2).sum().backward()
+
+    np.testing.assert_allclose(x1.grad, x2.grad, atol=1e-10)
+
+
+@given(finite_arrays)
+@settings(**SETTINGS)
+def test_tanh_gradient_bounded(data):
+    x = Tensor(data.copy(), requires_grad=True)
+    x.tanh().sum().backward()
+    assert np.all(x.grad <= 1.0 + 1e-12)
+    assert np.all(x.grad >= 0.0)
+
+
+@given(finite_arrays)
+@settings(**SETTINGS)
+def test_relu_plus_negated_relu_is_identity_gradient(data):
+    # relu(x) - relu(-x) == x, so the gradient must be (close to) ones.
+    data = data[np.abs(data) > 1e-6]            # avoid the kink at 0
+    if data.size == 0:
+        return
+    x = Tensor(data.copy(), requires_grad=True)
+    (x.relu() - (-x).relu()).sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data), atol=1e-12)
+
+
+@given(finite_arrays)
+@settings(**SETTINGS)
+def test_exp_log_roundtrip_gradient(data):
+    # log(exp(x)) == x => d/dx == 1
+    data = np.clip(data, -5, 5)
+    x = Tensor(data.copy(), requires_grad=True)
+    x.exp().log().sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data), atol=1e-8)
+
+
+@given(finite_arrays)
+@settings(**SETTINGS)
+def test_reshape_preserves_sum_and_gradient(data):
+    x = Tensor(data.copy(), requires_grad=True)
+    flat = x.reshape(-1)
+    assert float(flat.sum().data) == float(data.sum())
+    flat.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+
+@given(arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+              elements=st.floats(-10, 10, allow_nan=False)))
+@settings(**SETTINGS)
+def test_softmax_output_is_distribution(data):
+    out = F.softmax(Tensor(data), axis=-1).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+
+
+@given(arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 3), st.integers(1, 3)),
+              elements=st.floats(-5, 5, allow_nan=False)),
+       arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 3), st.integers(1, 3)),
+              elements=st.floats(-5, 5, allow_nan=False)))
+@settings(**SETTINGS)
+def test_matmul_transpose_identity(a, b):
+    # (A B)^T == B^T A^T, and gradients agree.
+    if a.shape[1] != b.shape[0]:
+        b = b.T
+        if a.shape[1] != b.shape[0]:
+            return
+    ta1 = Tensor(a.copy(), requires_grad=True)
+    tb1 = Tensor(b.copy(), requires_grad=True)
+    left = (ta1 @ tb1).transpose()
+    left.sum().backward()
+
+    ta2 = Tensor(a.copy(), requires_grad=True)
+    tb2 = Tensor(b.copy(), requires_grad=True)
+    right = tb2.transpose() @ ta2.transpose()
+    right.sum().backward()
+
+    np.testing.assert_allclose(left.data, right.data, atol=1e-10)
+    np.testing.assert_allclose(ta1.grad, ta2.grad, atol=1e-10)
+    np.testing.assert_allclose(tb1.grad, tb2.grad, atol=1e-10)
+
+
+@given(finite_arrays)
+@settings(**SETTINGS)
+def test_concat_split_roundtrip(data):
+    x = Tensor(data.copy(), requires_grad=True)
+    doubled = F.concat([x, x], axis=0)
+    first, second = F.split(doubled, 2, axis=0)
+    np.testing.assert_allclose(first.data, data)
+    np.testing.assert_allclose(second.data, data)
+    (first + second).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(data, 2.0))
+
+
+@given(st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_detach_blocks_gradient(seed):
+    data = np.random.default_rng(seed).normal(size=(3,))
+    x = Tensor(data, requires_grad=True)
+    y = x * 2
+    z = y.detach() * 3 + x
+    z.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones(3))

@@ -1,0 +1,59 @@
+"""RMSprop / Adagrad optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, Tensor
+from repro.nn.optim import Adagrad, RMSprop
+
+from .test_optim import quadratic_loss, train
+
+
+class TestRMSprop:
+    def test_converges_on_quadratic(self):
+        param = train(RMSprop, steps=300, lr=0.05)
+        np.testing.assert_allclose(param.data, 3.0, atol=1e-2)
+
+    def test_momentum_variant_converges(self):
+        param = train(RMSprop, steps=300, lr=0.01, momentum=0.9)
+        np.testing.assert_allclose(param.data, 3.0, atol=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        plain = train(RMSprop, steps=500, lr=0.05)
+        decayed = train(RMSprop, steps=500, lr=0.05, weight_decay=1.0)
+        assert np.all(decayed.data < plain.data)
+
+    def test_skips_missing_grads(self):
+        param = Parameter(np.ones(2))
+        optimizer = RMSprop([param], lr=0.1)
+        optimizer.step()
+        np.testing.assert_array_equal(param.data, np.ones(2))
+
+
+class TestAdagrad:
+    def test_converges_on_quadratic(self):
+        param = train(Adagrad, steps=800, lr=0.5)
+        np.testing.assert_allclose(param.data, 3.0, atol=1e-2)
+
+    def test_effective_rate_decays(self):
+        """Steps shrink as squared gradients accumulate."""
+        param = Parameter(np.zeros(1))
+        optimizer = Adagrad([param], lr=0.1)
+        deltas = []
+        for _ in range(3):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            before = param.data.copy()
+            optimizer.step()
+            deltas.append(float(np.abs(param.data - before)[0]))
+        assert deltas[0] > deltas[1] > deltas[2]
+
+    def test_accumulator_monotone(self):
+        param = Parameter(np.zeros(2))
+        optimizer = Adagrad([param], lr=0.1)
+        param.grad = np.ones(2)
+        optimizer.step()
+        first = optimizer._accumulator[0].copy()
+        param.grad = np.ones(2)
+        optimizer.step()
+        assert np.all(optimizer._accumulator[0] > first)

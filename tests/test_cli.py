@@ -1,0 +1,98 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope", "metr-la"])
+
+
+class TestCommands:
+    def test_datasets_lists_all_seven(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("metr-la", "pems-bay", "pemsd7m", "pemsd3", "pemsd4",
+                     "pemsd7", "pemsd8"):
+            assert name in out
+
+    def test_models_lists_registry(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "graph-wavenet" in out
+        assert "stsgcn" in out
+
+    def test_run_prints_metrics(self, capsys):
+        code = main(["run", "linear", "pemsd8", "--epochs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MAE" in out
+        assert "params=" in out
+
+    def test_benchmark_and_save(self, capsys, tmp_path):
+        path = tmp_path / "results.json"
+        code = main(["benchmark", "--models", "linear", "last-value",
+                     "--datasets", "pemsd8", "--epochs", "1",
+                     "--repeats", "1", "--max-batches", "2",
+                     "--save", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig.1" in out
+        assert "Table III" in out
+        payload = json.loads(path.read_text())
+        assert len(payload) == 2
+
+    def test_report_renders_saved_results(self, capsys, tmp_path):
+        path = tmp_path / "results.json"
+        main(["benchmark", "--models", "linear", "last-value",
+              "--datasets", "pemsd8", "--epochs", "1", "--repeats", "1",
+              "--max-batches", "2", "--save", str(path)])
+        capsys.readouterr()
+        assert main(["report", str(path), "--table", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert main(["report", str(path), "--table", "fig2",
+                     "--dataset", "pemsd8"]) == 0
+        assert "difficult" in capsys.readouterr().out
+
+    def test_report_leaderboard(self, capsys, tmp_path):
+        path = tmp_path / "results.json"
+        main(["benchmark", "--models", "linear", "last-value",
+              "historical-average", "--datasets", "pemsd8", "metr-la",
+              "--epochs", "1", "--repeats", "1", "--max-batches", "1",
+              "--save", str(path)])
+        capsys.readouterr()
+        assert main(["report", str(path), "--table", "leaderboard"]) == 0
+        out = capsys.readouterr().out
+        assert "Friedman" in out
+        assert "rank@15m" in out
+
+    def test_profile_prints_census(self, capsys):
+        assert main(["profile", "stg2seq", "--dataset", "pemsd8",
+                     "--batch-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "op census" in out
+        assert "matmul" in out
+        assert "TOTAL" in out
+
+    def test_simulate_writes_npz(self, capsys, tmp_path):
+        path = tmp_path / "world.npz"
+        assert main(["simulate", "pemsd8", str(path)]) == 0
+        assert path.exists()
+        from repro.datasets import load_saved_dataset
+        loaded = load_saved_dataset(path)
+        assert loaded.spec.name == "pemsd8"

@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs end-to-end at minimal settings."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, script: str, *args: str) -> str:
+    monkeypatch.setattr(sys, "argv", [script, *args])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "quickstart.py",
+                          "--epochs", "1", "--model", "linear",
+                          "--dataset", "pemsd8")
+        assert "MAE" in out
+        assert "hard MAE" in out
+
+    def test_compare_models(self, monkeypatch, capsys, tmp_path):
+        save = str(tmp_path / "out.json")
+        out = run_example(monkeypatch, capsys, "compare_models.py",
+                          "--models", "linear", "last-value",
+                          "--dataset", "pemsd8", "--epochs", "1",
+                          "--repeats", "1", "--max-batches", "2",
+                          "--save", save)
+        assert "Fig.1" in out
+        assert Path(save).exists()
+
+    def test_difficult_intervals(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "difficult_intervals.py",
+                          "--model", "linear", "--dataset", "pemsd8",
+                          "--epochs", "1")
+        assert "Difficult intervals cover" in out
+        assert "volatile" in out
+
+    def test_custom_dataset(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "custom_dataset.py",
+                          "--nodes", "8", "--days", "4", "--epochs", "1",
+                          "--model", "linear")
+        assert "Results on the custom dataset" in out
+
+    def test_error_accumulation(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "error_accumulation.py",
+                          "--models", "linear", "last-value",
+                          "--epochs", "1", "--repeats", "2")
+        assert "Per-step MAE curves" in out
+        assert "60-minute MAE" in out
+
+    def test_incident_response(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "incident_response.py",
+                          "--model", "linear", "--epochs", "1")
+        assert "multiplies the model's error" in out
+
+    def test_export_and_analyze(self, monkeypatch, capsys, tmp_path):
+        out = run_example(monkeypatch, capsys, "export_and_analyze.py",
+                          "--model", "linear", "--dataset", "pemsd8",
+                          "--epochs", "1", "--out", str(tmp_path))
+        assert "Reloaded" in out
+        assert "volatility" in out
+        assert list(tmp_path.glob("*.npz"))
+        assert list(tmp_path.glob("*.csv"))

@@ -1,0 +1,124 @@
+"""End-to-end integration: full paper pipeline at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro import TrainingConfig, load_dataset, run_experiment
+from repro.core import (aggregate_runs, classify_intervals, fig1_table,
+                        fig2_table, horizon_curve, leaderboard, predict,
+                        save_results, load_results, table3)
+from repro.models import create_model
+from repro.nn import no_grad
+from repro.nn.profiler import profile
+
+FAST = TrainingConfig(epochs=2, max_batches_per_epoch=4)
+
+
+class TestFullPipeline:
+    """Dataset -> train -> evaluate -> aggregate -> report, twice over."""
+
+    @pytest.fixture(scope="class")
+    def results(self, ci_dataset, ci_flow_dataset):
+        cells = []
+        for data in (ci_dataset, ci_flow_dataset):
+            for model in ("linear", "stg2seq"):
+                runs = [run_experiment(model, data, FAST, seed=s)
+                        for s in range(2)]
+                cells.append(aggregate_runs(runs))
+        return cells
+
+    def test_speed_and_flow_cells(self, results):
+        datasets = {r.dataset_name for r in results}
+        assert datasets == {"metr-la", "pemsd8"}
+
+    def test_all_tables_render(self, results):
+        for dataset in ("metr-la", "pemsd8"):
+            assert "MAE@15m" in fig1_table(results, dataset)
+            assert "# params" in table3(results, dataset)
+            assert "degr%" in fig2_table(results, dataset)
+        assert "Friedman" in leaderboard(results)
+
+    def test_json_roundtrip_preserves_tables(self, results, tmp_path):
+        path = tmp_path / "cells.json"
+        save_results(results, path)
+        loaded = load_results(path)
+        assert fig1_table(loaded, "metr-la") == fig1_table(results, "metr-la")
+
+    def test_trained_beats_untrained(self, ci_dataset):
+        trained = run_experiment("stg2seq", ci_dataset,
+                                 TrainingConfig(epochs=3,
+                                                max_batches_per_epoch=12),
+                                 seed=0)
+        untrained = run_experiment("stg2seq", ci_dataset,
+                                   TrainingConfig(epochs=0), seed=0)
+        assert (trained.evaluation.full[15].mae
+                < untrained.evaluation.full[15].mae)
+
+    def test_difficult_interval_consistency(self, results):
+        """Difficult intervals are harder for trained models.
+
+        (Not asserted for the barely-trained linear baseline: a model with
+        a systematic bias can coincidentally do better inside volatile
+        regions — the tendency is a property of fitted models, not a
+        theorem.)
+        """
+        for cell in results:
+            if cell.model_name != "stg2seq":
+                continue
+            for minutes in (15, 30, 60):
+                hard = cell.metric(minutes, "mae", difficult=True).mean
+                full = cell.metric(minutes, "mae").mean
+                assert hard > full
+
+
+class TestCrossModuleConsistency:
+    def test_horizon_curve_matches_point_metrics(self, ci_dataset):
+        model = create_model("linear", ci_dataset.num_nodes,
+                             ci_dataset.adjacency, seed=0)
+        from repro.core import train_model, evaluate_model
+        train_model(model, ci_dataset, FAST)
+        evaluation = evaluate_model(model, ci_dataset)
+        prediction, _ = predict(model, ci_dataset.supervised.test,
+                                ci_dataset.supervised.scaler)
+        curve = horizon_curve(prediction, ci_dataset.supervised.test.y)
+        assert curve[2] == pytest.approx(evaluation.full[15].mae)
+        assert curve[5] == pytest.approx(evaluation.full[30].mae)
+        assert curve[11] == pytest.approx(evaluation.full[60].mae)
+
+    def test_pattern_classes_bracket_difficult_mae(self, ci_dataset):
+        model = create_model("linear", ci_dataset.num_nodes,
+                             ci_dataset.adjacency, seed=0)
+        from repro.core import train_model, evaluate_patterns
+        train_model(model, ci_dataset, FAST)
+        prediction, _ = predict(model, ci_dataset.supervised.test,
+                                ci_dataset.supervised.scaler)
+        masks = classify_intervals(ci_dataset.supervised.series)
+        split = ci_dataset.supervised.test
+        metrics = evaluate_patterns(prediction, split.y, masks,
+                                    split.start_index)
+        hard = metrics["difficult"][15].mae
+        classes = [metrics["recurring"][15].mae,
+                   metrics["non_recurring"][15].mae]
+        finite = [c for c in classes if np.isfinite(c)]
+        assert min(finite) <= hard <= max(finite)
+
+    def test_no_grad_halves_graph_nodes(self, ci_dataset):
+        """Eval under no_grad must not build backward graphs."""
+        from repro.nn import Tensor
+        model = create_model("stg2seq", ci_dataset.num_nodes,
+                             ci_dataset.adjacency, seed=0)
+        x = Tensor(ci_dataset.supervised.train.x[:2])
+        model.eval()
+        with profile() as report:
+            with no_grad():
+                out = model(x)
+        assert out.requires_grad is False
+        # All created nodes must be grad-free leaves (parents dropped).
+        assert report.total_nodes > 0
+
+    def test_seed_chain_reproducibility(self, ci_dataset):
+        """Same seed -> byte-identical metric values end to end."""
+        a = run_experiment("stg2seq", ci_dataset, FAST, seed=3)
+        b = run_experiment("stg2seq", ci_dataset, FAST, seed=3)
+        assert a.evaluation.full[60].mae == b.evaluation.full[60].mae
+        assert a.history.train_losses == b.history.train_losses

@@ -1,0 +1,49 @@
+"""Package-level hygiene: import safety, docstrings, export consistency."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = [m.name for m in pkgutil.walk_packages(repro.__path__, "repro.")]
+
+
+class TestPackageHygiene:
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_module_imports_cleanly(self, module_name):
+        importlib.import_module(module_name)
+
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_module_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), (
+                f"{module_name}.__all__ lists {name!r} which does not exist")
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_top_level_exports_work(self):
+        from repro import (PAPER_MODELS, TrainingConfig, create_model,
+                           load_dataset, run_experiment)
+        assert len(PAPER_MODELS) == 8
+
+    def test_public_functions_have_docstrings(self):
+        """Every name exported by repro.core and repro.datasets is
+        documented."""
+        import inspect
+        for package in (repro.core, repro.datasets, repro.models, repro.nn):
+            for name in package.__all__:
+                obj = getattr(package, name)
+                if inspect.isfunction(obj) or inspect.isclass(obj):
+                    assert obj.__doc__, (
+                        f"{package.__name__}.{name} lacks a docstring")
