@@ -14,6 +14,9 @@ Environment knobs (all optional):
 - ``REPRO_BENCH_REPEATS`` repeated seeds per cell (default 2; paper uses 5)
 - ``REPRO_BENCH_CACHE``   directory for a persistent cell cache (off by
   default so every invocation measures fresh timings)
+- ``REPRO_BENCH_TRACE``   directory for per-run telemetry: every trained
+  seed writes a JSONL event trace and a ``.run.json`` manifest next to the
+  benchmark's JSON results (see ``docs/observability.md``)
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "3"))
 BENCH_BATCHES = int(os.environ.get("REPRO_BENCH_BATCHES", "12"))
 BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
 BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
+BENCH_TRACE = os.environ.get("REPRO_BENCH_TRACE") or None
 
 BENCH_CONFIG = TrainingConfig(epochs=BENCH_EPOCHS, batch_size=32,
                               max_batches_per_epoch=BENCH_BATCHES,
@@ -39,4 +43,5 @@ BENCH_CONFIG = TrainingConfig(epochs=BENCH_EPOCHS, batch_size=32,
 @pytest.fixture(scope="session")
 def matrix():
     return BenchmarkMatrix(scale=BENCH_SCALE, config=BENCH_CONFIG,
-                           repeats=BENCH_REPEATS, cache_dir=BENCH_CACHE)
+                           repeats=BENCH_REPEATS, cache_dir=BENCH_CACHE,
+                           trace_dir=BENCH_TRACE)

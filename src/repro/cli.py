@@ -7,12 +7,20 @@ Commands
 - ``run``      — train & evaluate one (model, dataset) cell
 - ``benchmark``— run a model×dataset matrix and print the paper tables
 - ``simulate`` — generate a dataset and save it as ``.npz``
+- ``report``   — render tables from a saved results JSON
+- ``profile``  — op census of one model's forward+backward pass
+- ``trace``    — summarize a JSONL telemetry trace (``trace summarize``)
+
+``run`` and ``benchmark`` accept ``--trace PATH`` to record every telemetry
+event as JSONL (plus a ``run.json`` manifest; see docs/observability.md);
+``run --quiet`` suppresses the per-epoch console lines.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -45,6 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--batch-size", type=int, default=32)
     run.add_argument("--lr", type=float, default=0.01)
+    run.add_argument("--trace", metavar="PATH",
+                     help="record telemetry events as JSONL at PATH "
+                          "(a run.json manifest is written next to it)")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-epoch progress lines")
 
     bench = sub.add_parser("benchmark", help="run a model×dataset matrix")
     bench.add_argument("--models", nargs="+", default=list(PAPER_MODELS),
@@ -56,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=2)
     bench.add_argument("--max-batches", type=int, default=12)
     bench.add_argument("--save", help="JSON output path")
+    bench.add_argument("--trace", metavar="DIR",
+                       help="write per-run JSONL traces + run manifests "
+                            "into DIR")
 
     simulate = sub.add_parser("simulate", help="generate & save a dataset")
     simulate.add_argument("dataset", choices=dataset_names())
@@ -76,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--dataset", default="metr-la", choices=dataset_names())
     prof.add_argument("--batch-size", type=int, default=8)
     prof.add_argument("--top", type=int, default=12)
+
+    trace = sub.add_parser(
+        "trace", help="inspect JSONL telemetry traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize", help="render a trace as paper-style tables")
+    trace_summarize.add_argument("path", help="JSONL trace file")
     return parser
 
 
@@ -102,12 +125,28 @@ def _cmd_models() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .obs import EventBus, JSONLSink
+
     data = load_dataset(args.dataset, scale=args.scale)
     config = TrainingConfig(epochs=args.epochs, batch_size=args.batch_size,
-                            learning_rate=args.lr, verbose=True)
+                            learning_rate=args.lr, verbose=not args.quiet)
+    bus = None
+    manifest_path = None
+    if args.trace:
+        trace_path = Path(args.trace)
+        bus = EventBus([JSONLSink(trace_path)])
+        manifest_path = str(trace_path.parent / "run.json")
     print(f"Training {args.model} on {args.dataset} "
           f"({data.num_nodes} nodes, scale={args.scale}) ...")
-    result = run_experiment(args.model, data, config, seed=args.seed)
+    try:
+        result = run_experiment(args.model, data, config, seed=args.seed,
+                                bus=bus, manifest_path=manifest_path)
+    finally:
+        if bus is not None:
+            bus.close()
+    if args.trace:
+        print(f"Trace written to {args.trace} "
+              f"(manifest: {manifest_path})")
     evaluation = result.evaluation
     print(f"\n{'horizon':>8} {'MAE':>8} {'RMSE':>8} {'MAPE':>8} "
           f"{'hardMAE':>8} {'degr':>7}")
@@ -124,8 +163,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_benchmark(args: argparse.Namespace) -> int:
+    from .obs import EventBus, JSONLSink
+
     config = TrainingConfig(epochs=args.epochs,
                             max_batches_per_epoch=args.max_batches)
+    trace_dir = Path(args.trace) if args.trace else None
+
+    def traced_run(model_name, data, seed):
+        if trace_dir is None:
+            return run_experiment(model_name, data, config, seed=seed)
+        stem = f"{model_name}_{data.spec.name}_seed{seed}"
+        bus = EventBus([JSONLSink(trace_dir / f"{stem}.jsonl")])
+        try:
+            return run_experiment(
+                model_name, data, config, seed=seed, bus=bus,
+                manifest_path=str(trace_dir / f"{stem}.run.json"))
+        finally:
+            bus.close()
+
     all_results = []
     for dataset_name in args.datasets:
         data = load_dataset(dataset_name, scale=args.scale)
@@ -133,7 +188,7 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
         for model_name in args.models:
             print(f"[{dataset_name}] {model_name}: "
                   f"{args.repeats} repeats ...", flush=True)
-            runs = [run_experiment(model_name, data, config, seed=seed)
+            runs = [traced_run(model_name, data, seed)
                     for seed in range(args.repeats)]
             results.append(aggregate_runs(runs))
         all_results.extend(results)
@@ -147,6 +202,8 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
     if args.save:
         save_results(all_results, args.save)
         print(f"Saved {len(all_results)} cells to {args.save}")
+    if trace_dir is not None:
+        print(f"Per-run traces + manifests in {trace_dir}")
     return 0
 
 
@@ -204,6 +261,24 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import summarize_trace, validate_trace
+
+    if args.trace_command == "summarize":
+        try:
+            problems = validate_trace(args.path)
+        except OSError as exc:
+            print(f"cannot read trace: {exc}", file=sys.stderr)
+            return 1
+        if problems:
+            for problem in problems:
+                print(f"invalid trace: {problem}", file=sys.stderr)
+            return 1
+        print(summarize_trace(args.path))
+        return 0
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
@@ -220,6 +295,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return 1
 
 

@@ -6,14 +6,25 @@ then evaluate on the held-out test set — full metrics and
 difficult-interval metrics, per 15/30/60-minute horizon — while recording
 training time per epoch, inference time, and parameter count (Table III).
 
-:class:`ExperimentSuite` repeats each cell ``n_repeats`` times with
-different seeds and aggregates mean ± std, as the paper does (five runs).
+Repeat-and-aggregate (the paper's five runs, mean ± std) lives in
+:func:`repro.core.aggregate_runs` and the cached
+:class:`repro.core.BenchmarkMatrix` orchestrator.
+
+Every run is observable: the runner publishes typed telemetry events
+(:class:`~repro.obs.RunStarted`, :class:`~repro.obs.BatchEnd`,
+:class:`~repro.obs.EpochEnd`, :class:`~repro.obs.EvalDone`,
+:class:`~repro.obs.RunFinished`) to a :class:`repro.obs.EventBus` — pass
+``bus=`` explicitly or attach sinks to the ambient bus
+(:func:`repro.obs.get_bus`).  ``verbose=True`` is just a console sink
+subscribed to ``epoch_end``.  ``manifest_path=`` additionally writes a
+``run.json`` reproducibility manifest (see :mod:`repro.obs.manifest`).
 """
 
 from __future__ import annotations
 
+import contextlib
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -24,6 +35,8 @@ from ..models.base import TrafficModel, create_model
 from ..nn import no_grad
 from ..nn.optim import Adam, clip_grad_norm
 from ..nn.tensor import Tensor
+from ..obs.events import (BatchEnd, ConsoleSink, EpochEnd, EvalDone,
+                          EventBus, RunFinished, RunStarted, get_bus)
 from .intervals import difficult_mask, prediction_mask
 from .metrics import HorizonMetrics, evaluate_horizons, mae
 
@@ -114,13 +127,17 @@ def _make_scheduler(optimizer, config: "TrainingConfig"):
 
 
 def train_model(model: TrafficModel, dataset: LoadedDataset,
-                config: TrainingConfig | None = None, seed: int = 0
-                ) -> TrainingHistory:
+                config: TrainingConfig | None = None, seed: int = 0,
+                bus: EventBus | None = None) -> TrainingHistory:
     """Train ``model`` in place; returns the training history.
 
     Baselines with no parameters (training_loss constant) are skipped.
+    Telemetry (``batch_end``/``epoch_end`` events) goes to ``bus``, or the
+    ambient :func:`repro.obs.get_bus` when none is given; ``verbose=True``
+    attaches a console sink limited to epoch lines for the duration.
     """
     config = config or TrainingConfig()
+    bus = bus if bus is not None else get_bus()
     history = TrainingHistory()
     parameters = model.parameters()
     if not parameters:
@@ -136,46 +153,52 @@ def train_model(model: TrafficModel, dataset: LoadedDataset,
     best_state: dict[str, np.ndarray] | None = None
     bad_epochs = 0
 
-    for epoch in range(config.epochs):
-        model.train()
-        epoch_losses = []
-        start = time.perf_counter()
-        for batch_index, (x, y, _) in enumerate(loader):
-            if (config.max_batches_per_epoch is not None
-                    and batch_index >= config.max_batches_per_epoch):
-                break
-            y_scaled = scaler.transform(y)
-            loss = model.training_loss(Tensor(x), Tensor(y_scaled))
-            if not loss.requires_grad:
-                return history                  # untrainable baseline
-            optimizer.zero_grad()
-            loss.backward()
-            clip_grad_norm(parameters, config.grad_clip)
-            optimizer.step()
-            epoch_losses.append(loss.item())
-        history.epoch_seconds.append(time.perf_counter() - start)
-        history.train_losses.append(float(np.mean(epoch_losses)))
-        if scheduler is not None:
-            scheduler.step()
-
-        val_prediction, _ = predict(model, dataset.supervised.val, scaler,
-                                    config.eval_batch_size)
-        val_mae = mae(val_prediction, dataset.supervised.val.y)
-        history.val_maes.append(val_mae)
+    with contextlib.ExitStack() as stack:
         if config.verbose:
-            print(f"  epoch {epoch + 1}/{config.epochs} "
-                  f"loss={history.train_losses[-1]:.4f} val_mae={val_mae:.4f} "
-                  f"({history.epoch_seconds[-1]:.1f}s)")
+            stack.enter_context(
+                bus.scoped(ConsoleSink(kinds=("epoch_end",))))
+        for epoch in range(config.epochs):
+            model.train()
+            epoch_losses = []
+            start = time.perf_counter()
+            for batch_index, (x, y, _) in enumerate(loader):
+                if (config.max_batches_per_epoch is not None
+                        and batch_index >= config.max_batches_per_epoch):
+                    break
+                y_scaled = scaler.transform(y)
+                loss = model.training_loss(Tensor(x), Tensor(y_scaled))
+                if not loss.requires_grad:
+                    return history                  # untrainable baseline
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(parameters, config.grad_clip)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+                bus.emit(BatchEnd(epoch=epoch + 1, batch=batch_index + 1,
+                                  loss=epoch_losses[-1]))
+            history.epoch_seconds.append(time.perf_counter() - start)
+            history.train_losses.append(float(np.mean(epoch_losses)))
+            if scheduler is not None:
+                scheduler.step()
 
-        if val_mae < best_val:
-            best_val = val_mae
-            best_state = model.state_dict()
-            history.best_epoch = epoch
-            bad_epochs = 0
-        else:
-            bad_epochs += 1
-            if config.patience is not None and bad_epochs > config.patience:
-                break
+            val_prediction, _ = predict(model, dataset.supervised.val, scaler,
+                                        config.eval_batch_size)
+            val_mae = mae(val_prediction, dataset.supervised.val.y)
+            history.val_maes.append(val_mae)
+            bus.emit(EpochEnd(epoch=epoch + 1, total_epochs=config.epochs,
+                              train_loss=history.train_losses[-1],
+                              val_mae=val_mae,
+                              seconds=history.epoch_seconds[-1]))
+
+            if val_mae < best_val:
+                best_val = val_mae
+                best_state = model.state_dict()
+                history.best_epoch = epoch
+                bad_epochs = 0
+            else:
+                bad_epochs += 1
+                if config.patience is not None and bad_epochs > config.patience:
+                    break
 
     if best_state is not None:
         model.load_state_dict(best_state)
@@ -222,16 +245,52 @@ def evaluate_model(model: TrafficModel, dataset: LoadedDataset,
 
 def run_experiment(model_name: str, dataset: LoadedDataset,
                    config: TrainingConfig | None = None, seed: int = 0,
+                   bus: EventBus | None = None,
+                   manifest_path: str | None = None,
                    **model_hparams) -> RunResult:
-    """Train-and-evaluate one cell of the benchmark matrix."""
+    """Train-and-evaluate one cell of the benchmark matrix.
+
+    Publishes ``run_started`` / ``eval_done`` / ``run_finished`` telemetry
+    (plus the training events) to ``bus`` or the ambient bus; when
+    ``manifest_path`` is given, also writes a ``run.json`` reproducibility
+    manifest there (config, seed, parameter count, wall time, peak RSS).
+    """
     config = config or TrainingConfig()
+    bus = bus if bus is not None else get_bus()
+    start = time.perf_counter()
     model = create_model(model_name, dataset.num_nodes, dataset.adjacency,
                          history=dataset.supervised.config.history,
                          horizon=dataset.supervised.config.horizon,
                          in_features=dataset.supervised.train.x.shape[-1],
                          seed=seed, **model_hparams)
-    history = train_model(model, dataset, config, seed=seed)
+    bus.emit(RunStarted(model=model_name, dataset=dataset.spec.name,
+                        seed=seed, num_parameters=model.num_parameters(),
+                        config=asdict(config)))
+    history = train_model(model, dataset, config, seed=seed, bus=bus)
     evaluation = evaluate_model(model, dataset,
                                 eval_batch_size=config.eval_batch_size)
+    bus.emit(EvalDone(
+        inference_seconds=evaluation.inference_seconds,
+        num_parameters=evaluation.num_parameters,
+        full={str(m): h.as_dict() for m, h in evaluation.full.items()},
+        difficult={str(m): h.as_dict()
+                   for m, h in evaluation.difficult.items()}))
+    wall_seconds = time.perf_counter() - start
+    best_val = (history.val_maes[history.best_epoch]
+                if history.val_maes else float("nan"))
+    bus.emit(RunFinished(model=model_name, dataset=dataset.spec.name,
+                         seed=seed, wall_seconds=wall_seconds,
+                         best_epoch=history.best_epoch,
+                         best_val_mae=best_val))
+    if manifest_path is not None:
+        from ..obs.manifest import build_manifest, write_manifest
+        manifest = build_manifest(
+            model=model_name, dataset=dataset.spec.name, seed=seed,
+            config=config, num_parameters=evaluation.num_parameters,
+            wall_seconds=wall_seconds, best_epoch=history.best_epoch,
+            best_val_mae=None if np.isnan(best_val) else float(best_val),
+            test_mae_15=float(evaluation.full[15].mae)
+            if 15 in evaluation.full else None)
+        write_manifest(manifest_path, manifest)
     return RunResult(model_name=model_name, dataset_name=dataset.spec.name,
                      seed=seed, history=history, evaluation=evaluation)

@@ -15,6 +15,7 @@ from dataclasses import asdict
 from pathlib import Path
 
 from ..datasets.catalog import LoadedDataset, load_dataset
+from ..obs.events import EventBus, JSONLSink
 from .experiment import RunResult, TrainingConfig, run_experiment
 from .results import (AggregateResult, aggregate_runs, load_results,
                       save_results)
@@ -37,17 +38,26 @@ class BenchmarkMatrix:
         Optional directory for a persistent cell cache.  Cells are keyed by
         (model, dataset, scale, repeats, training-config fingerprint), so
         changing any setting invalidates them.
+    trace_dir:
+        Optional directory for per-run telemetry: every trained seed writes
+        a ``<model>_<dataset>_seed<k>.jsonl`` event trace plus a matching
+        ``.run.json`` manifest (see :mod:`repro.obs`).  Cells restored from
+        the disk cache emit no traces (nothing is re-run).
     """
 
     def __init__(self, scale: str = "ci",
                  config: TrainingConfig | None = None, repeats: int = 2,
-                 cache_dir: str | Path | None = None):
+                 cache_dir: str | Path | None = None,
+                 trace_dir: str | Path | None = None):
         self.scale = scale
         self.config = config or TrainingConfig()
         self.repeats = repeats
         self.cache_dir = Path(cache_dir) if cache_dir else None
         if self.cache_dir:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.trace_dir = Path(trace_dir) if trace_dir else None
+        if self.trace_dir:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
         self._datasets: dict[str, LoadedDataset] = {}
         self._cells: dict[tuple[str, str], AggregateResult] = {}
         self._runs: dict[tuple[str, str], list[RunResult]] = {}
@@ -70,6 +80,26 @@ class BenchmarkMatrix:
             return None
         return self.cache_dir / f"{model}_{dataset}_{self._fingerprint(model, dataset)}.json"
 
+    def _train_cell(self, model: str, dataset: str) -> list[RunResult]:
+        """Train every seed of one cell, tracing each run if configured."""
+        data = self.dataset(dataset)
+        runs = []
+        for seed in range(self.repeats):
+            bus = None
+            manifest_path = None
+            if self.trace_dir is not None:
+                stem = f"{model}_{dataset}_seed{seed}"
+                bus = EventBus([JSONLSink(self.trace_dir / f"{stem}.jsonl")])
+                manifest_path = str(self.trace_dir / f"{stem}.run.json")
+            try:
+                runs.append(run_experiment(model, data, self.config,
+                                           seed=seed, bus=bus,
+                                           manifest_path=manifest_path))
+            finally:
+                if bus is not None:
+                    bus.close()
+        return runs
+
     # ------------------------------------------------------------------ #
     def cell(self, model: str, dataset: str) -> AggregateResult:
         key = (model, dataset)
@@ -81,9 +111,7 @@ class BenchmarkMatrix:
             self._cells[key] = load_results(path)[0]
             return self._cells[key]
 
-        data = self.dataset(dataset)
-        runs = [run_experiment(model, data, self.config, seed=seed)
-                for seed in range(self.repeats)]
+        runs = self._train_cell(model, dataset)
         self._runs[key] = runs
         aggregated = aggregate_runs(runs)
         self._cells[key] = aggregated
@@ -102,9 +130,7 @@ class BenchmarkMatrix:
         """
         key = (model, dataset)
         if key not in self._runs:
-            data = self.dataset(dataset)
-            runs = [run_experiment(model, data, self.config, seed=seed)
-                    for seed in range(self.repeats)]
+            runs = self._train_cell(model, dataset)
             self._runs[key] = runs
             self._cells.setdefault(key, aggregate_runs(runs))
         return self._runs[key]

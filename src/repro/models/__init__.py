@@ -11,7 +11,8 @@ Importing this package registers every model; use
 - ``stg2seq`` — gated graph-conv sequence model with attention output
 - ``stsgcn`` — spatial-temporal synchronous GCN, per-step heads
 - ``gman`` — graph multi-attention with transform attention
-- baselines: ``last-value``, ``historical-average``, ``linear``
+- baselines: ``last-value``, ``historical-average``, ``linear``,
+  ``gru-seq2seq`` (graph-free ablation), ``fc-lstm`` (classical FC-LSTM)
 """
 
 from .astgcn import ASTGCN

@@ -53,7 +53,13 @@ def load_optimizer_state(optimizer: Optimizer,
 def save_checkpoint(path: str | Path, model: Module,
                     optimizer: Optimizer | None = None,
                     metadata: dict | None = None) -> None:
-    """Write model (+ optional optimizer) state and JSON metadata."""
+    """Write model (+ optional optimizer) state and JSON metadata.
+
+    Announces the save as a ``checkpoint_saved`` telemetry event on the
+    ambient :class:`repro.obs.EventBus`.
+    """
+    from ..obs.events import CheckpointSaved, get_bus
+
     payload: dict[str, np.ndarray] = {}
     for key, value in model.state_dict().items():
         payload[f"model/{key}"] = value
@@ -63,6 +69,7 @@ def save_checkpoint(path: str | Path, model: Module,
     meta_blob = json.dumps(metadata or {}).encode()
     payload["metadata"] = np.frombuffer(meta_blob, dtype=np.uint8)
     np.savez(path, **payload)
+    get_bus().emit(CheckpointSaved(path=str(path), num_arrays=len(payload)))
 
 
 def load_checkpoint(path: str | Path, model: Module,

@@ -1,0 +1,45 @@
+"""`repro.obs` — experiment telemetry: events, sinks, manifests, traces.
+
+The observability layer for the whole stack (see ``docs/observability.md``):
+
+- :mod:`repro.obs.events` — typed events (:class:`RunStarted`,
+  :class:`EpochEnd`, :class:`BatchEnd`, :class:`EvalDone`,
+  :class:`CheckpointSaved`, :class:`RunFinished`, :class:`ProfileSnapshot`)
+  on an :class:`EventBus` with pluggable sinks (console, JSONL file,
+  in-memory recorder).
+- :mod:`repro.obs.manifest` — the ``run.json`` writer: config, seed,
+  parameter count, wall time, peak RSS, library versions.
+- :mod:`repro.obs.metrics` — timers/counters and :func:`profile_region`,
+  which publishes op-census breakdowns from :mod:`repro.nn.profiler`.
+- :mod:`repro.obs.trace` — JSONL trace parsing, schema validation, and
+  ``repro trace summarize``-style reports.
+
+Quickstart::
+
+    from repro.obs import EventBus, JSONLSink
+    bus = EventBus([JSONLSink("trace.jsonl")])
+    run_experiment("graph-wavenet", data, config, seed=0,
+                   bus=bus, manifest_path="run.json")
+    bus.close()
+"""
+
+from .events import (EVENT_KINDS, BatchEnd, CheckpointSaved, ConsoleSink,
+                     EpochEnd, EvalDone, Event, EventBus, JSONLSink,
+                     MemorySink, ProfileSnapshot, RunFinished, RunStarted,
+                     bus_scope, event_from_record, event_to_record, get_bus)
+from .manifest import (RunManifest, build_manifest, peak_rss_kb,
+                       read_manifest, write_manifest)
+from .metrics import Counter, Timer, profile_region, snapshot_from_report
+from .trace import read_trace, summarize_trace, validate_record, validate_trace
+
+__all__ = [
+    "Event", "RunStarted", "BatchEnd", "EpochEnd", "EvalDone",
+    "CheckpointSaved", "RunFinished", "ProfileSnapshot", "EVENT_KINDS",
+    "event_to_record", "event_from_record",
+    "EventBus", "ConsoleSink", "JSONLSink", "MemorySink",
+    "get_bus", "bus_scope",
+    "RunManifest", "build_manifest", "write_manifest", "read_manifest",
+    "peak_rss_kb",
+    "Timer", "Counter", "profile_region", "snapshot_from_report",
+    "read_trace", "validate_record", "validate_trace", "summarize_trace",
+]

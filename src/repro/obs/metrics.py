@@ -1,0 +1,99 @@
+"""Timers, counters, and profiled regions that publish to the event bus.
+
+These wrap the op-census profiler (:mod:`repro.nn.profiler`) and plain
+wall-clock timing so any training region — an epoch, a forward pass, a
+custom loop — can emit a :class:`~repro.obs.ProfileSnapshot` with per-op
+node/element breakdowns, instead of printing ad-hoc numbers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from collections import Counter as _Counter
+
+from ..nn.profiler import ProfileReport, profile
+from .events import EventBus, ProfileSnapshot, get_bus
+
+__all__ = ["Timer", "Counter", "profile_region", "snapshot_from_report"]
+
+
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Use as a (re-entrant across laps) context manager; ``seconds`` is the
+    running total and ``laps`` the per-use durations::
+
+        timer = Timer()
+        for batch in loader:
+            with timer:
+                step(batch)
+        timer.seconds, timer.mean_lap
+    """
+
+    def __init__(self):
+        self.laps: list[float] = []
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._start is not None:
+            self.laps.append(time.perf_counter() - self._start)
+            self._start = None
+
+    @property
+    def seconds(self) -> float:
+        return float(sum(self.laps))
+
+    @property
+    def mean_lap(self) -> float:
+        return self.seconds / len(self.laps) if self.laps else 0.0
+
+
+class Counter:
+    """Named monotonic counters (batches seen, checkpoints written, ...)."""
+
+    def __init__(self):
+        self._counts: _Counter[str] = _Counter()
+
+    def increment(self, name: str, by: int = 1) -> int:
+        """Add ``by`` to ``name``; returns the new value."""
+        self._counts[name] += by
+        return self._counts[name]
+
+    def value(self, name: str) -> int:
+        return self._counts[name]
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+
+def snapshot_from_report(label: str, report: ProfileReport,
+                         top: int = 8) -> ProfileSnapshot:
+    """Convert an op-census :class:`ProfileReport` into a bus event."""
+    top_ops = {name: {"count": stats.count, "elements": stats.elements}
+               for name, stats in report.top(top)}
+    return ProfileSnapshot(label=label, wall_seconds=report.wall_seconds,
+                           total_nodes=report.total_nodes,
+                           total_elements=report.total_elements,
+                           top_ops=top_ops)
+
+
+@contextlib.contextmanager
+def profile_region(label: str, bus: EventBus | None = None, top: int = 8):
+    """Op-census a region and emit the result as a :class:`ProfileSnapshot`.
+
+    Yields the live :class:`~repro.nn.profiler.ProfileReport`; on exit the
+    aggregated census is published to ``bus`` (ambient bus by default)::
+
+        with profile_region("forward+backward"):
+            loss = model.training_loss(x, y)
+            loss.backward()
+    """
+    bus = bus or get_bus()
+    with profile() as report:
+        yield report
+    bus.emit(snapshot_from_report(label, report, top=top))

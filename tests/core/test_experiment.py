@@ -86,6 +86,30 @@ class TestTrainModel:
         with pytest.raises(ValueError, match="unknown lr_schedule"):
             train_model(model, ci_dataset, config)
 
+    def test_verbose_output_identical_to_legacy_print(self, ci_dataset,
+                                                      capsys):
+        """verbose=True (now an event-bus console sink) keeps the exact
+        per-epoch lines the old bare print produced."""
+        model = create_model("linear", ci_dataset.num_nodes,
+                             ci_dataset.adjacency, seed=0)
+        config = TrainingConfig(epochs=2, max_batches_per_epoch=4,
+                                verbose=True)
+        history = train_model(model, ci_dataset, config, seed=0)
+        out = capsys.readouterr().out
+        expected = "".join(
+            f"  epoch {epoch + 1}/{config.epochs} "
+            f"loss={history.train_losses[epoch]:.4f} "
+            f"val_mae={history.val_maes[epoch]:.4f} "
+            f"({history.epoch_seconds[epoch]:.1f}s)\n"
+            for epoch in range(config.epochs))
+        assert out == expected
+
+    def test_quiet_by_default(self, ci_dataset, capsys):
+        model = create_model("linear", ci_dataset.num_nodes,
+                             ci_dataset.adjacency, seed=0)
+        train_model(model, ci_dataset, FAST, seed=0)
+        assert capsys.readouterr().out == ""
+
 
 class TestPredict:
     def test_shapes_and_units(self, trained, ci_dataset):

@@ -110,3 +110,25 @@ class TestCheckpoint:
                         metadata={"epoch": 7, "best": 1.23, "name": "x"})
         metadata = load_checkpoint(path, Net())
         assert metadata == {"epoch": 7, "best": 1.23, "name": "x"}
+
+
+class TestCheckpointTelemetry:
+    def test_save_announces_event_on_ambient_bus(self, tmp_path):
+        from repro.obs import EventBus, MemorySink, bus_scope
+
+        model = Net()
+        optimizer = Adam(model.parameters(), lr=0.1)
+        path = tmp_path / "ckpt.npz"
+        sink = MemorySink()
+        with bus_scope(EventBus([sink])):
+            save_checkpoint(path, model, optimizer, metadata={"epoch": 1})
+        (event,) = sink.of_kind("checkpoint_saved")
+        assert event.path == str(path)
+        # 4 model arrays + lr/step/2*(m,v) optimizer arrays + metadata blob
+        with np.load(path.with_suffix(".npz") if path.suffix != ".npz"
+                     else path) as archive:
+            assert event.num_arrays == len(archive.files)
+
+    def test_save_without_listeners_is_silent(self, tmp_path, capsys):
+        save_checkpoint(tmp_path / "m.npz", Net())
+        assert capsys.readouterr().out == ""

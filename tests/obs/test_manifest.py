@@ -1,0 +1,78 @@
+"""Run-manifest completeness and round-trips."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import TrainingConfig
+from repro.obs import (RunManifest, build_manifest, peak_rss_kb,
+                       read_manifest, write_manifest)
+from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, REQUIRED_FIELDS
+
+
+@pytest.fixture
+def manifest():
+    return build_manifest(model="stgcn", dataset="metr-la", seed=7,
+                          config=TrainingConfig(epochs=2),
+                          num_parameters=4242, wall_seconds=1.25,
+                          best_epoch=1, best_val_mae=3.5, test_mae_15=4.0)
+
+
+class TestBuildManifest:
+    def test_identity_fields(self, manifest):
+        assert manifest.model == "stgcn"
+        assert manifest.dataset == "metr-la"
+        assert manifest.seed == 7
+        assert manifest.num_parameters == 4242
+        assert manifest.wall_seconds == 1.25
+
+    def test_config_is_flattened_dataclass(self, manifest):
+        assert manifest.config["epochs"] == 2
+        assert manifest.config["batch_size"] == 32
+
+    def test_config_accepts_plain_dict(self):
+        built = build_manifest(model="m", dataset="d", seed=0,
+                               config={"epochs": 9}, num_parameters=1,
+                               wall_seconds=0.1)
+        assert built.config == {"epochs": 9}
+
+    def test_environment_fields(self, manifest):
+        assert manifest.repro_version == repro.__version__
+        assert manifest.numpy_version == np.__version__
+        assert manifest.python_version.count(".") == 2
+        assert manifest.created_unix > 0
+        assert manifest.schema_version == MANIFEST_SCHEMA_VERSION
+
+    def test_peak_rss_recorded_on_linux(self, manifest):
+        assert manifest.peak_rss_kb == pytest.approx(peak_rss_kb(), rel=0.5)
+        assert manifest.peak_rss_kb > 0
+
+
+class TestManifestIO:
+    def test_round_trip(self, tmp_path, manifest):
+        path = write_manifest(tmp_path / "run.json", manifest)
+        assert read_manifest(path) == manifest
+
+    def test_required_fields_present_on_disk(self, tmp_path, manifest):
+        import json
+        path = write_manifest(tmp_path / "run.json", manifest)
+        payload = json.loads(path.read_text())
+        for field in REQUIRED_FIELDS:
+            assert field in payload
+
+    def test_missing_required_field_rejected(self, tmp_path, manifest):
+        import json
+        path = write_manifest(tmp_path / "run.json", manifest)
+        payload = json.loads(path.read_text())
+        del payload["seed"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="missing required fields"):
+            read_manifest(path)
+
+    def test_unknown_keys_survive_in_extra(self):
+        payload = build_manifest(model="m", dataset="d", seed=0,
+                                 config={}, num_parameters=1,
+                                 wall_seconds=0.1).to_dict()
+        payload["future_field"] = [1, 2, 3]
+        restored = RunManifest.from_dict(payload)
+        assert restored.extra["future_field"] == [1, 2, 3]

@@ -1,0 +1,66 @@
+"""Timers, counters, and bus-publishing profiled regions."""
+
+import time
+
+from repro.nn import Tensor
+from repro.obs import (Counter, EventBus, MemorySink, Timer, profile_region,
+                       bus_scope)
+
+
+class TestTimer:
+    def test_accumulates_laps(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer:
+                time.sleep(0.001)
+        assert len(timer.laps) == 3
+        assert timer.seconds >= 0.003
+        assert timer.mean_lap == timer.seconds / 3
+
+    def test_zero_state(self):
+        timer = Timer()
+        assert timer.seconds == 0.0
+        assert timer.mean_lap == 0.0
+
+
+class TestCounter:
+    def test_increment_and_read(self):
+        counter = Counter()
+        assert counter.increment("batches") == 1
+        assert counter.increment("batches", by=4) == 5
+        counter.increment("checkpoints")
+        assert counter.value("batches") == 5
+        assert counter.as_dict() == {"batches": 5, "checkpoints": 1}
+
+    def test_unknown_name_is_zero(self):
+        assert Counter().value("nothing") == 0
+
+
+class TestProfileRegion:
+    def test_emits_snapshot_with_op_census(self):
+        sink = MemorySink()
+        bus = EventBus([sink])
+        with profile_region("fwd+bwd", bus=bus, top=3):
+            a = Tensor([[1.0, 2.0]], requires_grad=True)
+            (a @ Tensor([[1.0], [1.0]])).sum().backward()
+        (snapshot,) = sink.of_kind("profile")
+        assert snapshot.label == "fwd+bwd"
+        assert snapshot.total_nodes > 0
+        assert snapshot.total_elements > 0
+        assert snapshot.top_ops
+        assert len(snapshot.top_ops) <= 3
+        for stats in snapshot.top_ops.values():
+            assert stats["count"] >= 1
+            assert stats["elements"] >= 1
+
+    def test_defaults_to_ambient_bus(self):
+        sink = MemorySink()
+        with bus_scope(EventBus([sink])):
+            with profile_region("region"):
+                Tensor([1.0]) + Tensor([2.0])
+        assert len(sink.of_kind("profile")) == 1
+
+    def test_yields_live_report(self):
+        with profile_region("r", bus=EventBus()) as report:
+            Tensor([1.0]) + Tensor([2.0])
+        assert report.total_nodes > 0

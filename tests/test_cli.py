@@ -96,3 +96,64 @@ class TestCommands:
         from repro.datasets import load_saved_dataset
         loaded = load_saved_dataset(path)
         assert loaded.spec.name == "pemsd8"
+
+
+class TestTraceCommands:
+    def test_run_with_trace_writes_trace_and_manifest(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code = main(["run", "linear", "pemsd8", "--epochs", "1",
+                     "--trace", str(trace)])
+        assert code == 0
+        assert trace.exists()
+        manifest = tmp_path / "run.json"
+        payload = json.loads(manifest.read_text())
+        assert payload["model"] == "linear"
+        assert payload["wall_seconds"] > 0
+        from repro.obs import read_trace, validate_trace
+        assert validate_trace(trace) == []
+        kinds = [e.kind for e in read_trace(trace)]
+        assert "epoch_end" in kinds and "run_finished" in kinds
+        assert "Trace written to" in capsys.readouterr().out
+
+    def test_run_quiet_suppresses_epoch_lines(self, capsys):
+        assert main(["run", "linear", "pemsd8", "--epochs", "1",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch 1/1" not in out
+        assert "MAE" in out                      # summary still printed
+
+    def test_run_verbose_prints_epoch_lines_by_default(self, capsys):
+        assert main(["run", "linear", "pemsd8", "--epochs", "1"]) == 0
+        assert "epoch 1/1" in capsys.readouterr().out
+
+    def test_trace_summarize_renders_report(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        main(["run", "linear", "pemsd8", "--epochs", "1", "--quiet",
+              "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace [linear @ pemsd8, seed 0]" in out
+        assert "val MAE" in out
+        assert "hardMAE" in out
+
+    def test_trace_summarize_rejects_invalid_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("definitely not json\n")
+        assert main(["trace", "summarize", str(bad)]) == 1
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_trace_summarize_missing_file(self, capsys, tmp_path):
+        assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_benchmark_trace_dir(self, capsys, tmp_path):
+        out_dir = tmp_path / "traces"
+        code = main(["benchmark", "--models", "linear",
+                     "--datasets", "pemsd8", "--epochs", "1",
+                     "--repeats", "2", "--max-batches", "2",
+                     "--trace", str(out_dir)])
+        assert code == 0
+        for seed in range(2):
+            assert (out_dir / f"linear_pemsd8_seed{seed}.jsonl").exists()
+            assert (out_dir / f"linear_pemsd8_seed{seed}.run.json").exists()

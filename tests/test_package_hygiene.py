@@ -1,13 +1,20 @@
-"""Package-level hygiene: import safety, docstrings, export consistency."""
+"""Package-level hygiene: import safety, docstrings, export consistency,
+and docs/api.md staying in sync with the public module tree."""
 
 import importlib
 import pkgutil
+from pathlib import Path
 
 import pytest
 
 import repro
 
 ALL_MODULES = [m.name for m in pkgutil.walk_packages(repro.__path__, "repro.")]
+
+PUBLIC_MODULES = [name for name in ALL_MODULES
+                  if not any(part.startswith("_") for part in name.split("."))]
+
+DOCS_API = Path(__file__).resolve().parent.parent / "docs" / "api.md"
 
 
 class TestPackageHygiene:
@@ -41,9 +48,35 @@ class TestPackageHygiene:
         """Every name exported by repro.core and repro.datasets is
         documented."""
         import inspect
-        for package in (repro.core, repro.datasets, repro.models, repro.nn):
+        for package in (repro.core, repro.datasets, repro.models, repro.nn,
+                        repro.obs):
             for name in package.__all__:
                 obj = getattr(package, name)
                 if inspect.isfunction(obj) or inspect.isclass(obj):
                     assert obj.__doc__, (
                         f"{package.__name__}.{name} lacks a docstring")
+
+
+class TestDocsSync:
+    """docs/api.md must cover the public module tree — doc drift is a
+    tier-1 failure, not a chore for later."""
+
+    def test_docs_api_exists(self):
+        assert DOCS_API.is_file()
+
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_module_mentioned_in_docs_api(self, module_name):
+        assert module_name in DOCS_API.read_text(encoding="utf-8"), (
+            f"{module_name} is not mentioned in docs/api.md — add it to "
+            "the module index (every public module must be documented)")
+
+    def test_no_stale_modules_in_index(self):
+        """Module-index lines must not reference modules that no longer
+        exist (the reverse direction of drift)."""
+        import re
+        text = DOCS_API.read_text(encoding="utf-8")
+        documented = re.findall(r"`(repro(?:\.[a-z_0-9]+)+)`", text)
+        known = set(PUBLIC_MODULES) | {"repro"}
+        stale = [name for name in documented if name not in known]
+        assert not stale, (f"docs/api.md mentions modules that do not "
+                           f"exist: {sorted(set(stale))}")
