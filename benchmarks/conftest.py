@@ -17,6 +17,9 @@ Environment knobs (all optional):
 - ``REPRO_BENCH_TRACE``   directory for per-run telemetry: every trained
   seed writes a JSONL event trace and a ``.run.json`` manifest next to the
   benchmark's JSON results (see ``docs/observability.md``)
+- ``REPRO_BENCH_KERNELS`` workload preset for the kernel suite in
+  ``bench_kernels.py`` (default ``full``; ``quick`` for a fast sanity
+  pass — speedup thresholds are only asserted in ``full`` mode)
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ BENCH_BATCHES = int(os.environ.get("REPRO_BENCH_BATCHES", "12"))
 BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
 BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
 BENCH_TRACE = os.environ.get("REPRO_BENCH_TRACE") or None
+BENCH_KERNELS_MODE = os.environ.get("REPRO_BENCH_KERNELS", "full")
 
 BENCH_CONFIG = TrainingConfig(epochs=BENCH_EPOCHS, batch_size=32,
                               max_batches_per_epoch=BENCH_BATCHES,
@@ -45,3 +49,15 @@ def matrix():
     return BenchmarkMatrix(scale=BENCH_SCALE, config=BENCH_CONFIG,
                            repeats=BENCH_REPEATS, cache_dir=BENCH_CACHE,
                            trace_dir=BENCH_TRACE)
+
+
+@pytest.fixture(scope="session")
+def kernel_bench_mode():
+    """Workload preset for the kernel suite (``REPRO_BENCH_KERNELS``)."""
+    from repro.nn.kernel_bench import BENCH_MODES
+
+    if BENCH_KERNELS_MODE not in BENCH_MODES:
+        raise ValueError(
+            f"REPRO_BENCH_KERNELS={BENCH_KERNELS_MODE!r} is not a known "
+            f"mode; expected one of {sorted(BENCH_MODES)}")
+    return BENCH_KERNELS_MODE

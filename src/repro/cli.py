@@ -10,6 +10,9 @@ Commands
 - ``report``   — render tables from a saved results JSON
 - ``profile``  — op census of one model's forward+backward pass
 - ``trace``    — summarize a JSONL telemetry trace (``trace summarize``)
+- ``bench``    — engine benchmarks (``bench kernels`` times the hot
+  kernels against the reference ``np.add.at`` paths; ``--json`` records
+  ``BENCH_kernels.json``)
 
 ``run`` and ``benchmark`` accept ``--trace PATH`` to record every telemetry
 event as JSONL (plus a ``run.json`` manifest; see docs/observability.md);
@@ -99,6 +102,21 @@ def build_parser() -> argparse.ArgumentParser:
     trace_summarize = trace_sub.add_parser(
         "summarize", help="render a trace as paper-style tables")
     trace_summarize.add_argument("path", help="JSONL trace file")
+
+    bench = sub.add_parser(
+        "bench", help="engine benchmarks (reference vs fast kernels)")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_kernels = bench_sub.add_parser(
+        "kernels", help="time the hot kernels against the reference paths")
+    bench_kernels.add_argument("--mode", default="full",
+                               choices=("quick", "full"),
+                               help="workload preset (quick for smoke runs)")
+    bench_kernels.add_argument("--case", nargs="+", metavar="NAME",
+                               help="restrict to specific benchmark cases")
+    bench_kernels.add_argument("--json", metavar="PATH",
+                               help="write results JSON (BENCH_kernels.json)")
+    bench_kernels.add_argument("--trace", metavar="PATH",
+                               help="record kernel_bench events as JSONL")
     return parser
 
 
@@ -261,6 +279,32 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .nn.kernel_bench import bench_kernels, render_timings, write_bench_json
+    from .obs import ConsoleSink, EventBus, JSONLSink
+
+    if args.bench_command != "kernels":
+        return 1
+    sinks = [ConsoleSink(kinds=("kernel_bench",))]
+    if args.trace:
+        sinks.append(JSONLSink(args.trace))
+    bus = EventBus(sinks)
+    print(f"Kernel benchmark suite (mode={args.mode}) — "
+          f"reference np.add.at engine vs fast kernels\n")
+    try:
+        timings = bench_kernels(mode=args.mode, bus=bus, cases=args.case)
+    finally:
+        bus.close()
+    print()
+    print(render_timings(timings))
+    if args.json:
+        write_bench_json(timings, args.json, mode=args.mode)
+        print(f"\nResults written to {args.json}")
+    if args.trace:
+        print(f"Events written to {args.trace}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs import summarize_trace, validate_trace
 
@@ -297,6 +341,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return 1
 
 

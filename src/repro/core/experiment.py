@@ -170,7 +170,9 @@ def train_model(model: TrafficModel, dataset: LoadedDataset,
                 if not loss.requires_grad:
                     return history                  # untrainable baseline
                 optimizer.zero_grad()
-                loss.backward()
+                # Each batch builds a fresh tape, so release this one
+                # eagerly — cuts peak RSS on the deep recurrent models.
+                loss.backward(free_graph=True)
                 clip_grad_norm(parameters, config.grad_clip)
                 optimizer.step()
                 epoch_losses.append(loss.item())

@@ -87,8 +87,7 @@ class DCRNN(TrafficModel):
         batch = x.shape[0]
         hidden = [Tensor(np.zeros((batch, self.num_nodes, self.hidden_size)))
                   for _ in range(self.num_layers)]
-        for t in range(self.history):
-            step = x[:, t]
+        for step in F.unbind(x, axis=1):
             for layer, cell in enumerate(self.encoder):
                 hidden[layer] = cell(step, hidden[layer])
                 step = hidden[layer]

@@ -53,8 +53,7 @@ class FCLSTM(TrafficModel):
              for _ in range(self.num_layers)]
         c = [Tensor(np.zeros((batch, self.hidden_size)))
              for _ in range(self.num_layers)]
-        for t in range(self.history):
-            step = flat[:, t]
+        for step in F.unbind(flat, axis=1):
             for layer, cell in enumerate(self.encoder):
                 h[layer], c[layer] = cell(step, (h[layer], c[layer]))
                 step = h[layer]

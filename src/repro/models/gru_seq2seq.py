@@ -48,8 +48,7 @@ class GRUSeq2Seq(TrafficModel):
         flat = x.transpose(0, 2, 1, 3).reshape(batch * nodes, history, features)
         hidden = [Tensor(np.zeros((batch * nodes, self.hidden_size)))
                   for _ in range(self.num_layers)]
-        for t in range(history):
-            step = flat[:, t]
+        for step in F.unbind(flat, axis=1):
             for layer, cell in enumerate(self.encoder):
                 hidden[layer] = cell(step, hidden[layer])
                 step = hidden[layer]

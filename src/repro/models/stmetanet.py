@@ -162,8 +162,8 @@ class STMetaNet(TrafficModel):
         batch = x.shape[0]
         meta = self._meta()
         h = Tensor(np.zeros((batch, self.num_nodes, self.hidden_size)))
-        for t in range(self.history):
-            h = self.encoder(x[:, t], h, meta)
+        for step in F.unbind(x, axis=1):
+            h = self.encoder(step, h, meta)
         h = self.gat(h, meta)
 
         step_input = Tensor(np.zeros((batch, self.num_nodes, 1)))

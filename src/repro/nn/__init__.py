@@ -11,7 +11,8 @@ surface mirrors the torch layout:
 - masked losses (:mod:`repro.nn.losses`)
 """
 
-from . import checkpoint, functional, gradcheck, init, losses, optim, profiler, summary
+from . import (checkpoint, functional, gradcheck, init, kernels, losses,
+               optim, profiler, summary)
 from .layers import (BatchNorm, Conv1d, Conv2d, Dropout, Embedding, GRU,
                      GRUCell, GraphAttention, LSTM, LSTMCell, LayerNorm,
                      Linear, MultiHeadAttention)
@@ -24,5 +25,6 @@ __all__ = [
     "Linear", "Conv1d", "Conv2d", "GRU", "GRUCell", "LSTM", "LSTMCell",
     "MultiHeadAttention", "GraphAttention",
     "LayerNorm", "BatchNorm", "Embedding", "Dropout",
-    "functional", "init", "losses", "optim", "checkpoint", "profiler", "summary", "gradcheck",
+    "functional", "init", "losses", "optim", "checkpoint", "profiler",
+    "summary", "gradcheck", "kernels",
 ]

@@ -1,9 +1,10 @@
 """Functional operations on :class:`~repro.nn.tensor.Tensor`.
 
 These are the ops that do not fit naturally as tensor methods: multi-input
-ops (``concat``, ``stack``, ``where``, ``einsum``), normalised activations
-(``softmax``, ``log_softmax``), convolution kernels (im2col-based), and
-stochastic ops (``dropout``).
+ops (``concat``, ``stack``, ``where``, ``einsum``), view fan-outs
+(``split``, ``unbind`` — shared-buffer backward), normalised activations
+(``softmax``, ``log_softmax``), convolution kernels (im2col-based, backed
+by :mod:`repro.nn.kernels`), and stochastic ops (``dropout``).
 """
 
 from __future__ import annotations
@@ -12,11 +13,12 @@ from typing import Sequence
 
 import numpy as np
 
+from . import kernels as _kernels
 from .tensor import Tensor, is_grad_enabled, unbroadcast
 
 __all__ = [
     "relu", "leaky_relu", "sigmoid", "tanh", "softmax", "log_softmax", "gelu",
-    "concat", "stack", "split", "where", "einsum", "dropout",
+    "concat", "stack", "split", "unbind", "where", "einsum", "dropout",
     "conv2d", "conv1d", "unfold2d", "huber",
 ]
 
@@ -100,18 +102,65 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     return Tensor._make(out_data, tuple(tensors), backward, "stack")
 
 
+def _slice_views(x: Tensor, indices: Sequence[tuple], op: str) -> list[Tensor]:
+    """Basic-index views of ``x`` whose gradients share one buffer.
+
+    Naively, N views of one tensor cost N full-size zero allocations on the
+    backward pass (one per ``getitem`` node).  Here every view writes its
+    gradient slice into a single shared buffer held by an *anchor* node
+    that sits between ``x`` and the views; reverse-topological order
+    guarantees all views run before the anchor, which then hands the
+    buffer to ``x`` in one pass.  In reference-kernel mode the views fall
+    back to plain ``getitem`` nodes (the pre-optimisation behaviour).
+    """
+    if (not x.requires_grad or not is_grad_enabled()
+            or _kernels.reference_kernels_enabled()):
+        return [x[idx] for idx in indices]
+
+    def anchor_backward(g: np.ndarray) -> None:
+        x._accumulate(g)
+
+    anchor = Tensor._make(x.data, (x,), anchor_backward, op)
+    shape, dtype = x.shape, x.data.dtype
+    views = []
+    for idx in indices:
+        def view_backward(g: np.ndarray, idx=idx) -> None:
+            if anchor.grad is None:
+                anchor.grad = np.zeros(shape, dtype=dtype)
+            anchor.grad[idx] += g
+
+        views.append(Tensor._make(x.data[idx], (anchor,), view_backward, op))
+    return views
+
+
 def split(x: Tensor, sections: int, axis: int = 0) -> list[Tensor]:
-    """Split into ``sections`` equal chunks along ``axis``."""
+    """Split into ``sections`` equal chunks along ``axis``.
+
+    The chunks' backward passes accumulate through one shared buffer (see
+    :func:`_slice_views`), so a split costs a single full-size gradient
+    allocation instead of one per chunk — and never hits ``np.add.at``.
+    """
     if x.shape[axis] % sections != 0:
         raise ValueError(
             f"axis {axis} of size {x.shape[axis]} is not divisible by {sections}")
     size = x.shape[axis] // sections
-    chunks = []
-    for i in range(sections):
-        index = [slice(None)] * x.ndim
-        index[axis] = slice(i * size, (i + 1) * size)
-        chunks.append(x[tuple(index)])
-    return chunks
+    prefix = (slice(None),) * (axis % x.ndim)
+    indices = [prefix + (slice(i * size, (i + 1) * size),)
+               for i in range(sections)]
+    return _slice_views(x, indices, "split")
+
+
+def unbind(x: Tensor, axis: int = 0) -> list[Tensor]:
+    """Unpack ``x`` into views along ``axis`` (like ``torch.unbind``).
+
+    ``unbind(x, 1)[t]`` equals ``x[:, t]``; the recurrent stacks and
+    seq2seq codecs use it so that T per-step slices cost one shared
+    gradient buffer on the backward pass instead of T full-size scatters.
+    """
+    axis = range(x.ndim)[axis]          # normalises and bounds-checks
+    prefix = (slice(None),) * axis
+    indices = [prefix + (i,) for i in range(x.shape[axis])]
+    return _slice_views(x, indices, "unbind")
 
 
 def where(condition, a: Tensor, b: Tensor) -> Tensor:
@@ -188,32 +237,14 @@ def huber(x: Tensor, delta: float = 1.0) -> Tensor:
 
 
 # --------------------------------------------------------------------- #
-# convolution (im2col)
+# convolution (im2col — see repro.nn.kernels for the index cache and the
+# fast col2im scatter)
 # --------------------------------------------------------------------- #
-def _col_indices(height: int, width: int, kh: int, kw: int,
-                 stride: tuple[int, int], dilation: tuple[int, int]):
-    sh, sw = stride
-    dh, dw = dilation
-    out_h = (height - dh * (kh - 1) - 1) // sh + 1
-    out_w = (width - dw * (kw - 1) - 1) // sw + 1
-    i0 = dh * np.repeat(np.arange(kh), kw)
-    j0 = dw * np.tile(np.arange(kw), kh)
-    i1 = sh * np.repeat(np.arange(out_h), out_w)
-    j1 = sw * np.tile(np.arange(out_w), out_h)
-    rows = i0[:, None] + i1[None, :]          # (kh*kw, out_h*out_w)
-    cols = j0[:, None] + j1[None, :]
-    return rows, cols, out_h, out_w
-
-
 def unfold2d(x_data: np.ndarray, kernel: tuple[int, int],
              stride: tuple[int, int] = (1, 1),
              dilation: tuple[int, int] = (1, 1)):
     """im2col on raw data: (B, C, H, W) -> (B, C*kh*kw, L), plus out shape."""
-    batch, channels, height, width = x_data.shape
-    kh, kw = kernel
-    rows, cols, out_h, out_w = _col_indices(height, width, kh, kw, stride, dilation)
-    patches = x_data[:, :, rows, cols]         # (B, C, kh*kw, L)
-    return patches.reshape(batch, channels * kh * kw, -1), out_h, out_w
+    return _kernels.im2col(x_data, kernel, stride, dilation)
 
 
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
@@ -224,7 +255,15 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
 
     ``x``: (B, C_in, H, W); ``weight``: (C_out, C_in, kh, kw);
     ``bias``: (C_out,) or None.  Padding is symmetric zero padding.
+
+    The im2col index grids are cached per geometry, the three matrix
+    contractions run on BLAS (:func:`repro.nn.kernels.conv_forward_contract`
+    and friends), and the backward input scatter uses the vectorised
+    :func:`repro.nn.kernels.col2im` (strided slice adds / bincount) rather
+    than ``np.add.at``.
     """
+    stride = (int(stride[0]), int(stride[1]))
+    dilation = (int(dilation[0]), int(dilation[1]))
     if padding != (0, 0):
         x = x.pad(((0, 0), (0, 0), (padding[0], padding[0]),
                    (padding[1], padding[1])))
@@ -233,11 +272,12 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     if c_in != c_in_w:
         raise ValueError(f"conv2d channel mismatch: input {c_in} vs weight {c_in_w}")
 
-    rows, cols, out_h, out_w = _col_indices(height, width, kh, kw, stride, dilation)
+    rows, cols, out_h, out_w = _kernels.col_indices(
+        height, width, (kh, kw), stride, dilation)
     patches = x.data[:, :, rows, cols]                      # (B, C, K, L)
     cols_mat = patches.reshape(batch, c_in * kh * kw, -1)   # (B, CK, L)
     w_mat = weight.data.reshape(c_out, -1)                  # (Cout, CK)
-    out_data = np.einsum("ok,bkl->bol", w_mat, cols_mat)
+    out_data = _kernels.conv_forward_contract(w_mat, cols_mat)
     if bias is not None:
         out_data = out_data + bias.data[None, :, None]
     out_data = out_data.reshape(batch, c_out, out_h, out_w)
@@ -247,15 +287,18 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     def backward(g: np.ndarray) -> None:
         g_mat = g.reshape(batch, c_out, -1)                  # (B, Cout, L)
         # weight grad
-        gw = np.einsum("bol,bkl->ok", g_mat, cols_mat).reshape(weight.shape)
-        weight._accumulate(gw)
+        gw = _kernels.conv_weight_grad_contract(g_mat, cols_mat)
+        weight._accumulate(gw.reshape(weight.shape))
         if bias is not None:
             bias._accumulate(g_mat.sum(axis=(0, 2)))
         # input grad: scatter columns back
-        g_cols = np.einsum("ok,bol->bkl", w_mat, g_mat)      # (B, CK, L)
+        g_cols = _kernels.conv_col_grad_contract(w_mat, g_mat)  # (B, CK, L)
         g_cols = g_cols.reshape(batch, c_in, kh * kw, -1)
-        gx = np.zeros((batch, c_in, height, width), dtype=x.data.dtype)
-        np.add.at(gx, (slice(None), slice(None), rows, cols), g_cols)
+        col2im = (_kernels.col2im_reference
+                  if _kernels.reference_kernels_enabled()
+                  else _kernels.col2im)
+        gx = col2im(g_cols, (batch, c_in, height, width), (kh, kw),
+                    stride, dilation)
         x._accumulate(gx)
 
     return Tensor._make(out_data, parents, backward, "conv2d")

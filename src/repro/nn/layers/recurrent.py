@@ -104,8 +104,9 @@ class LSTM(Module):
         else:
             h, c = [list(s) for s in state]
         outputs = []
-        for t in range(time):
-            step = x[:, t, :]
+        # unbind makes the T per-step slices share one gradient buffer
+        # instead of T full-size scatters on the backward pass.
+        for step in F.unbind(x, axis=1):
             for layer, cell in enumerate(self.cells):
                 h[layer], c[layer] = cell(step, (h[layer], c[layer]))
                 step = h[layer]
@@ -137,8 +138,7 @@ class GRU(Module):
                   for _ in range(self.num_layers)]
         hidden = list(h0)
         outputs = []
-        for t in range(time):
-            step = x[:, t, :]
+        for step in F.unbind(x, axis=1):
             for layer, cell in enumerate(self.cells):
                 hidden[layer] = cell(step, hidden[layer])
                 step = hidden[layer]

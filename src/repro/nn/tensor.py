@@ -21,6 +21,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from .kernels import reference_kernels_enabled
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast"]
 
 # Global switch consulted when deciding whether a new node joins the tape.
@@ -62,6 +64,65 @@ def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
     return grad.reshape(shape)
+
+
+def _scatter_add(target: np.ndarray, index, grad: np.ndarray) -> None:
+    """Unbuffered scatter-add (``np.add.at``) — the slow general path.
+
+    Kept as a module-level seam so tests can count how often the engine
+    falls off the basic-index fast path.
+    """
+    np.add.at(target, index, grad)
+
+
+def _is_basic_index(index) -> bool:
+    """True when ``index`` triggers only numpy *basic* indexing.
+
+    Basic indices (ints, slices, Ellipsis, newaxis) select each input
+    element at most once, so the adjoint is a plain in-place add on a view
+    — no duplicate handling needed.  Arrays, lists and boolean masks are
+    *advanced* indexing and may repeat elements.
+    """
+    items = index if isinstance(index, tuple) else (index,)
+    for item in items:
+        if item is None or item is Ellipsis:
+            continue
+        if isinstance(item, (int, np.integer, slice)):
+            continue
+        return False
+    return True
+
+
+def _normalize_pad_width(pad_width, ndim: int) -> tuple[tuple[int, int], ...]:
+    """Expand ``pad_width`` to per-axis ``(before, after)`` pairs.
+
+    Follows :func:`numpy.pad` semantics: a scalar pads every side of every
+    axis, a single ``(before, after)`` pair applies to all axes, and a
+    sequence of per-axis pairs is used as given.  Anything else (wrong
+    arity, negative or non-integer amounts) raises instead of silently
+    mis-slicing the backward pass.
+    """
+    array = np.asarray(pad_width)
+    if array.dtype.kind not in "iu":
+        raise TypeError(
+            f"pad_width must contain integers, got dtype {array.dtype}")
+    try:
+        pairs = np.broadcast_to(array, (ndim, 2))
+    except ValueError:
+        raise ValueError(
+            f"pad_width {pad_width!r} is not broadcastable to ({ndim}, 2) "
+            f"for a {ndim}-d tensor") from None
+    if pairs.size and pairs.min() < 0:
+        raise ValueError(f"pad_width must be non-negative, got {pad_width!r}")
+    return tuple((int(before), int(after)) for before, after in pairs)
+
+
+def _freed_backward(grad: np.ndarray) -> None:
+    """Placeholder closure installed by ``backward(free_graph=True)``."""
+    raise RuntimeError(
+        "backward through a freed graph: this tensor's tape was released "
+        "by backward(free_graph=True); rebuild the graph to differentiate "
+        "again")
 
 
 def _as_array(value, dtype=None) -> np.ndarray:
@@ -164,16 +225,26 @@ class Tensor:
             # Copy so later in-place += does not alias caller buffers.
             self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
-            self.grad += grad
+            # Reuse the existing buffer: one pass, no temporary.
+            np.add(self.grad, grad, out=self.grad)
 
     # ------------------------------------------------------------------ #
     # backward pass
     # ------------------------------------------------------------------ #
-    def backward(self, grad: np.ndarray | None = None) -> None:
+    def backward(self, grad: np.ndarray | None = None, *,
+                 free_graph: bool = False) -> None:
         """Run reverse-mode autodiff from this tensor.
 
         ``grad`` defaults to ones (so scalars need no argument, matching the
         usual loss.backward() idiom).
+
+        With ``free_graph=True`` the tape is torn down as soon as the pass
+        completes: intermediate nodes drop their parent references,
+        backward closures, and gradient buffers, so the whole graph (and
+        every activation captured by its closures) becomes collectible
+        immediately.  This cuts peak RSS during training, where each batch
+        builds a fresh graph anyway; a second backward through a freed
+        graph raises ``RuntimeError``.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor that does not require grad")
@@ -213,6 +284,15 @@ class Tensor:
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+                if free_graph:
+                    # All consumers already ran (reverse-topological order),
+                    # so this buffer can never be read again.
+                    node.grad = None
+        if free_graph:
+            for node in topo:
+                if node._backward is not None:
+                    node._parents = ()
+                    node._backward = _freed_backward
 
     # ------------------------------------------------------------------ #
     # arithmetic
@@ -586,19 +666,31 @@ class Tensor:
         out_data = self.data[index]
         in_shape = self.shape
         dtype = self.data.dtype
+        basic = _is_basic_index(index)
 
         def backward(g: np.ndarray) -> None:
             full = np.zeros(in_shape, dtype=dtype)
-            np.add.at(full, index, g)
+            if basic and not reference_kernels_enabled():
+                # Basic indexing selects each element at most once, so the
+                # adjoint is a single in-place add on a view — no
+                # duplicate-safe (and slow) scatter needed.
+                full[index] += g
+            else:
+                _scatter_add(full, index, g)
             self._accumulate(full)
 
         return self._make(out_data, (self,), backward, "getitem")
 
     def pad(self, pad_width) -> "Tensor":
-        """Zero-pad; ``pad_width`` follows numpy.pad convention."""
-        out_data = np.pad(self.data, pad_width)
+        """Zero-pad; ``pad_width`` follows numpy.pad convention.
+
+        Accepts a scalar (all sides), one ``(before, after)`` pair (all
+        axes), or per-axis pairs, exactly like :func:`numpy.pad`.
+        """
+        pairs = _normalize_pad_width(pad_width, self.ndim)
+        out_data = np.pad(self.data, pairs)
         slices = tuple(slice(before, before + n)
-                       for (before, _), n in zip(pad_width, self.shape))
+                       for (before, _), n in zip(pairs, self.shape))
 
         def backward(g: np.ndarray) -> None:
             self._accumulate(g[slices])

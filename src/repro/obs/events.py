@@ -33,7 +33,7 @@ from typing import Any, Callable, ClassVar, Iterable, TextIO
 
 __all__ = [
     "Event", "RunStarted", "BatchEnd", "EpochEnd", "EvalDone",
-    "CheckpointSaved", "RunFinished", "ProfileSnapshot",
+    "CheckpointSaved", "RunFinished", "ProfileSnapshot", "KernelBench",
     "EVENT_KINDS", "event_to_record", "event_from_record",
     "EventBus", "ConsoleSink", "JSONLSink", "MemorySink",
     "get_bus", "bus_scope",
@@ -139,10 +139,27 @@ class ProfileSnapshot(Event):
     top_ops: dict = field(default_factory=dict)
 
 
+@dataclass
+class KernelBench(Event):
+    """One kernel benchmark case: reference vs. optimised timings.
+
+    Emitted by :mod:`repro.nn.kernel_bench` for every microbenchmark and
+    model-step case; ``meta`` carries the case's shapes/parameters.
+    """
+
+    kind: ClassVar[str] = "kernel_bench"
+    name: str = ""
+    mode: str = "quick"
+    reference_seconds: float = 0.0
+    fast_seconds: float = 0.0
+    speedup: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+
 EVENT_KINDS: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (RunStarted, BatchEnd, EpochEnd, EvalDone, CheckpointSaved,
-                RunFinished, ProfileSnapshot)
+                RunFinished, ProfileSnapshot, KernelBench)
 }
 
 
@@ -207,6 +224,11 @@ class ConsoleSink:
             return (f"[profile] {event.label}: {event.total_nodes} nodes, "
                     f"{event.total_elements:,} elements "
                     f"({event.wall_seconds:.4f}s)")
+        if isinstance(event, KernelBench):
+            return (f"[bench] {event.name}: reference "
+                    f"{event.reference_seconds * 1e3:.2f}ms -> "
+                    f"{event.fast_seconds * 1e3:.2f}ms "
+                    f"({event.speedup:.2f}x)")
         return f"[{event.kind}]"
 
     def __call__(self, event: Event) -> None:

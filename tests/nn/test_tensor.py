@@ -366,6 +366,38 @@ class TestShapeOps:
         out.sum().backward()
         np.testing.assert_allclose(x.grad, [[1.0, 1.0]])
 
+    def test_pad_scalar_width(self):
+        x = Tensor([[1.0, 2.0]], requires_grad=True)
+        out = x.pad(1)
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(
+            out.data, np.pad(np.array([[1.0, 2.0]]), 1))
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [[1.0, 1.0]])
+
+    def test_pad_single_pair_broadcasts(self):
+        x = Tensor([[1.0, 2.0]], requires_grad=True)
+        out = x.pad((1, 2))
+        assert out.shape == (4, 5)
+        np.testing.assert_allclose(
+            out.data, np.pad(np.array([[1.0, 2.0]]), (1, 2)))
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [[1.0, 1.0]])
+
+    def test_pad_nested_single_pair_broadcasts(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3))
+        np.testing.assert_allclose(x.pad(((1, 2),)).data,
+                                   np.pad(x.data, ((1, 2),)))
+
+    def test_pad_rejects_bad_widths(self):
+        x = Tensor(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            x.pad(((1, 2), (3, 4), (5, 6)))   # wrong number of axes
+        with pytest.raises(ValueError):
+            x.pad(((1, 2, 3), (1, 2, 3)))     # triples, not pairs
+        with pytest.raises((TypeError, ValueError)):
+            x.pad("wide")
+
     def test_repeat_grad(self):
         x = Tensor([1.0, 2.0], requires_grad=True)
         out = x.expand_dims(0).repeat(3, axis=0)

@@ -5,10 +5,10 @@ import json
 import pytest
 
 from repro.obs import (EVENT_KINDS, BatchEnd, CheckpointSaved, ConsoleSink,
-                       EpochEnd, EvalDone, EventBus, JSONLSink, MemorySink,
-                       ProfileSnapshot, RunFinished, RunStarted, bus_scope,
-                       event_from_record, event_to_record, get_bus,
-                       read_trace)
+                       EpochEnd, EvalDone, EventBus, JSONLSink, KernelBench,
+                       MemorySink, ProfileSnapshot, RunFinished, RunStarted,
+                       bus_scope, event_from_record, event_to_record,
+                       get_bus, read_trace)
 
 
 def sample_events():
@@ -27,6 +27,9 @@ def sample_events():
         ProfileSnapshot(label="fwd", wall_seconds=0.1, total_nodes=10,
                         total_elements=100,
                         top_ops={"matmul": {"count": 4, "elements": 80}}),
+        KernelBench(name="conv2d_backward", mode="full",
+                    reference_seconds=0.04, fast_seconds=0.01, speedup=4.0,
+                    meta={"kernel": [1, 3]}),
     ]
 
 
