@@ -20,6 +20,9 @@ Environment knobs (all optional):
 - ``REPRO_BENCH_KERNELS`` workload preset for the kernel suite in
   ``bench_kernels.py`` (default ``full``; ``quick`` for a fast sanity
   pass — speedup thresholds are only asserted in ``full`` mode)
+- ``REPRO_BENCH_OPTIM``   workload preset for the optimizer suite in
+  ``bench_optim.py`` (default ``full``; same quick/full semantics as the
+  kernel suite)
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
 BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
 BENCH_TRACE = os.environ.get("REPRO_BENCH_TRACE") or None
 BENCH_KERNELS_MODE = os.environ.get("REPRO_BENCH_KERNELS", "full")
+BENCH_OPTIM_MODE = os.environ.get("REPRO_BENCH_OPTIM", "full")
 
 BENCH_CONFIG = TrainingConfig(epochs=BENCH_EPOCHS, batch_size=32,
                               max_batches_per_epoch=BENCH_BATCHES,
@@ -61,3 +65,15 @@ def kernel_bench_mode():
             f"REPRO_BENCH_KERNELS={BENCH_KERNELS_MODE!r} is not a known "
             f"mode; expected one of {sorted(BENCH_MODES)}")
     return BENCH_KERNELS_MODE
+
+
+@pytest.fixture(scope="session")
+def optim_bench_mode():
+    """Workload preset for the optimizer suite (``REPRO_BENCH_OPTIM``)."""
+    from repro.nn.optim_bench import OPTIM_BENCH_MODES
+
+    if BENCH_OPTIM_MODE not in OPTIM_BENCH_MODES:
+        raise ValueError(
+            f"REPRO_BENCH_OPTIM={BENCH_OPTIM_MODE!r} is not a known "
+            f"mode; expected one of {sorted(OPTIM_BENCH_MODES)}")
+    return BENCH_OPTIM_MODE

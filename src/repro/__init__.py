@@ -12,6 +12,9 @@ Subpackages
 - :mod:`repro.models` — the eight benchmark models + baselines.
 - :mod:`repro.core` — the benchmark harness: metrics, difficult-interval
   extraction, experiment runner, and paper-style reports.
+- :mod:`repro.train` — the unified training engine: one callback-driven
+  epoch/batch loop (grad clip, LR schedule, early stop, checkpoints,
+  telemetry) behind every training entry point (see ``docs/training.md``).
 - :mod:`repro.obs` — experiment telemetry: typed events + pluggable sinks
   (console/JSONL/memory), ``run.json`` manifests, trace summaries (see
   ``docs/observability.md``).
@@ -25,7 +28,7 @@ Quickstart
 >>> result.evaluation.full[15].mae    # doctest: +SKIP
 """
 
-from . import core, datasets, graph, models, nn, obs
+from . import core, datasets, graph, models, nn, obs, train
 from .core import (TrainingConfig, aggregate_runs, evaluate_model,
                    run_experiment, train_model)
 from .datasets import load_dataset
@@ -34,7 +37,7 @@ from .models import PAPER_MODELS, create_model, model_names
 __version__ = "1.0.0"
 
 __all__ = [
-    "nn", "graph", "datasets", "models", "core", "obs",
+    "nn", "graph", "datasets", "models", "core", "obs", "train",
     "load_dataset", "create_model", "model_names", "PAPER_MODELS",
     "TrainingConfig", "run_experiment", "train_model", "evaluate_model",
     "aggregate_runs", "__version__",

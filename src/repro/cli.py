@@ -11,8 +11,10 @@ Commands
 - ``profile``  — op census of one model's forward+backward pass
 - ``trace``    — summarize a JSONL telemetry trace (``trace summarize``)
 - ``bench``    — engine benchmarks (``bench kernels`` times the hot
-  kernels against the reference ``np.add.at`` paths; ``--json`` records
-  ``BENCH_kernels.json``)
+  kernels against the reference ``np.add.at`` paths; ``bench optim``
+  times the fused arena optimizer updates against the per-parameter
+  reference loop; ``--json`` records ``BENCH_kernels.json`` /
+  ``BENCH_optim.json``)
 
 ``run`` and ``benchmark`` accept ``--trace PATH`` to record every telemetry
 event as JSONL (plus a ``run.json`` manifest; see docs/observability.md);
@@ -117,6 +119,18 @@ def build_parser() -> argparse.ArgumentParser:
                                help="write results JSON (BENCH_kernels.json)")
     bench_kernels.add_argument("--trace", metavar="PATH",
                                help="record kernel_bench events as JSONL")
+    bench_optim = bench_sub.add_parser(
+        "optim", help="time fused arena optimizer updates against the "
+                      "per-parameter reference loop")
+    bench_optim.add_argument("--mode", default="full",
+                             choices=("quick", "full"),
+                             help="workload preset (quick for smoke runs)")
+    bench_optim.add_argument("--case", nargs="+", metavar="NAME",
+                             help="restrict to specific benchmark cases")
+    bench_optim.add_argument("--json", metavar="PATH",
+                             help="write results JSON (BENCH_optim.json)")
+    bench_optim.add_argument("--trace", metavar="PATH",
+                             help="record optim_bench events as JSONL")
     return parser
 
 
@@ -280,25 +294,34 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .nn.kernel_bench import bench_kernels, render_timings, write_bench_json
+    from .nn.kernel_bench import (bench_kernels, render_timings,
+                                  write_bench_json)
+    from .nn.optim_bench import bench_optim
     from .obs import ConsoleSink, EventBus, JSONLSink
 
-    if args.bench_command != "kernels":
+    if args.bench_command == "kernels":
+        suite, event_kind, run = "kernels", "kernel_bench", bench_kernels
+        banner = (f"Kernel benchmark suite (mode={args.mode}) — "
+                  f"reference np.add.at engine vs fast kernels")
+    elif args.bench_command == "optim":
+        suite, event_kind, run = "optim", "optim_bench", bench_optim
+        banner = (f"Optimizer benchmark suite (mode={args.mode}) — "
+                  f"per-parameter reference loop vs fused arena updates")
+    else:
         return 1
-    sinks = [ConsoleSink(kinds=("kernel_bench",))]
+    sinks = [ConsoleSink(kinds=(event_kind,))]
     if args.trace:
         sinks.append(JSONLSink(args.trace))
     bus = EventBus(sinks)
-    print(f"Kernel benchmark suite (mode={args.mode}) — "
-          f"reference np.add.at engine vs fast kernels\n")
+    print(banner + "\n")
     try:
-        timings = bench_kernels(mode=args.mode, bus=bus, cases=args.case)
+        timings = run(mode=args.mode, bus=bus, cases=args.case)
     finally:
         bus.close()
     print()
     print(render_timings(timings))
     if args.json:
-        write_bench_json(timings, args.json, mode=args.mode)
+        write_bench_json(timings, args.json, mode=args.mode, suite=suite)
         print(f"\nResults written to {args.json}")
     if args.trace:
         print(f"Events written to {args.trace}")

@@ -22,8 +22,8 @@ subscribed to ``epoch_end``.  ``manifest_path=`` additionally writes a
 
 from __future__ import annotations
 
-import contextlib
 import time
+import typing
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
@@ -33,12 +33,14 @@ from ..datasets.loader import DataLoader
 from ..datasets.windows import SupervisedSplit
 from ..models.base import TrafficModel, create_model
 from ..nn import no_grad
-from ..nn.optim import Adam, clip_grad_norm
 from ..nn.tensor import Tensor
-from ..obs.events import (BatchEnd, ConsoleSink, EpochEnd, EvalDone,
-                          EventBus, RunFinished, RunStarted, get_bus)
+from ..obs.events import (EvalDone, EventBus, RunFinished, RunStarted,
+                          get_bus)
 from .intervals import difficult_mask, prediction_mask
-from .metrics import HorizonMetrics, evaluate_horizons, mae
+from .metrics import HorizonMetrics, evaluate_horizons
+
+if typing.TYPE_CHECKING:                                 # pragma: no cover
+    from ..train.engine import Engine
 
 __all__ = ["TrainingConfig", "TrainingHistory", "EvaluationResult",
            "train_model", "predict", "evaluate_model", "run_experiment",
@@ -109,102 +111,23 @@ class RunResult:
 
 
 # --------------------------------------------------------------------- #
-def _make_scheduler(optimizer, config: "TrainingConfig"):
-    """Build the optional per-epoch LR scheduler from the config."""
-    from ..nn.optim import CosineAnnealingLR, ExponentialLR, StepLR
-
-    if config.lr_schedule is None:
-        return None
-    if config.lr_schedule == "step":
-        return StepLR(optimizer, step_size=max(1, config.epochs // 3),
-                      gamma=0.3)
-    if config.lr_schedule == "exponential":
-        return ExponentialLR(optimizer, gamma=0.9)
-    if config.lr_schedule == "cosine":
-        return CosineAnnealingLR(optimizer, t_max=max(1, config.epochs))
-    raise ValueError(f"unknown lr_schedule {config.lr_schedule!r}; "
-                     "choose step, exponential, or cosine")
-
-
 def train_model(model: TrafficModel, dataset: LoadedDataset,
                 config: TrainingConfig | None = None, seed: int = 0,
                 bus: EventBus | None = None) -> TrainingHistory:
     """Train ``model`` in place; returns the training history.
 
-    Baselines with no parameters (training_loss constant) are skipped.
-    Telemetry (``batch_end``/``epoch_end`` events) goes to ``bus``, or the
-    ambient :func:`repro.obs.get_bus` when none is given; ``verbose=True``
-    attaches a console sink limited to epoch lines for the duration.
+    A thin wrapper over :class:`repro.train.Engine` with the default
+    callback stack (gradient clipping, LR schedule, telemetry, early
+    stopping) — the engine's loop reproduces the historical inline loop
+    event for event.  Baselines with no parameters (or a constant
+    ``training_loss``) are skipped.  Telemetry (``batch_end``/``epoch_end``
+    events) goes to ``bus``, or the ambient :func:`repro.obs.get_bus` when
+    none is given; ``verbose=True`` attaches a console sink limited to
+    epoch lines for the duration.
     """
-    config = config or TrainingConfig()
-    bus = bus if bus is not None else get_bus()
-    history = TrainingHistory()
-    parameters = model.parameters()
-    if not parameters:
-        return history
+    from ..train.engine import Engine
 
-    optimizer = Adam(parameters, lr=config.learning_rate,
-                     weight_decay=config.weight_decay)
-    scheduler = _make_scheduler(optimizer, config)
-    loader = DataLoader(dataset.supervised.train, batch_size=config.batch_size,
-                        shuffle=True, seed=seed)
-    scaler = dataset.supervised.scaler
-    best_val = float("inf")
-    best_state: dict[str, np.ndarray] | None = None
-    bad_epochs = 0
-
-    with contextlib.ExitStack() as stack:
-        if config.verbose:
-            stack.enter_context(
-                bus.scoped(ConsoleSink(kinds=("epoch_end",))))
-        for epoch in range(config.epochs):
-            model.train()
-            epoch_losses = []
-            start = time.perf_counter()
-            for batch_index, (x, y, _) in enumerate(loader):
-                if (config.max_batches_per_epoch is not None
-                        and batch_index >= config.max_batches_per_epoch):
-                    break
-                y_scaled = scaler.transform(y)
-                loss = model.training_loss(Tensor(x), Tensor(y_scaled))
-                if not loss.requires_grad:
-                    return history                  # untrainable baseline
-                optimizer.zero_grad()
-                # Each batch builds a fresh tape, so release this one
-                # eagerly — cuts peak RSS on the deep recurrent models.
-                loss.backward(free_graph=True)
-                clip_grad_norm(parameters, config.grad_clip)
-                optimizer.step()
-                epoch_losses.append(loss.item())
-                bus.emit(BatchEnd(epoch=epoch + 1, batch=batch_index + 1,
-                                  loss=epoch_losses[-1]))
-            history.epoch_seconds.append(time.perf_counter() - start)
-            history.train_losses.append(float(np.mean(epoch_losses)))
-            if scheduler is not None:
-                scheduler.step()
-
-            val_prediction, _ = predict(model, dataset.supervised.val, scaler,
-                                        config.eval_batch_size)
-            val_mae = mae(val_prediction, dataset.supervised.val.y)
-            history.val_maes.append(val_mae)
-            bus.emit(EpochEnd(epoch=epoch + 1, total_epochs=config.epochs,
-                              train_loss=history.train_losses[-1],
-                              val_mae=val_mae,
-                              seconds=history.epoch_seconds[-1]))
-
-            if val_mae < best_val:
-                best_val = val_mae
-                best_state = model.state_dict()
-                history.best_epoch = epoch
-                bad_epochs = 0
-            else:
-                bad_epochs += 1
-                if config.patience is not None and bad_epochs > config.patience:
-                    break
-
-    if best_state is not None:
-        model.load_state_dict(best_state)
-    return history
+    return Engine(config).fit(model, dataset, seed=seed, bus=bus)
 
 
 def predict(model: TrafficModel, split: SupervisedSplit, scaler,
@@ -249,15 +172,22 @@ def run_experiment(model_name: str, dataset: LoadedDataset,
                    config: TrainingConfig | None = None, seed: int = 0,
                    bus: EventBus | None = None,
                    manifest_path: str | None = None,
+                   engine: "Engine | None" = None,
                    **model_hparams) -> RunResult:
     """Train-and-evaluate one cell of the benchmark matrix.
 
-    Publishes ``run_started`` / ``eval_done`` / ``run_finished`` telemetry
-    (plus the training events) to ``bus`` or the ambient bus; when
-    ``manifest_path`` is given, also writes a ``run.json`` reproducibility
-    manifest there (config, seed, parameter count, wall time, peak RSS).
+    Training routes through :class:`repro.train.Engine` — pass ``engine=``
+    to supply a pre-configured one (custom callbacks, optimizer factory);
+    its config then governs the run.  Publishes ``run_started`` /
+    ``eval_done`` / ``run_finished`` telemetry (plus the training events)
+    to ``bus`` or the ambient bus; when ``manifest_path`` is given, also
+    writes a ``run.json`` reproducibility manifest there (config, seed,
+    parameter count, wall time, peak RSS).
     """
-    config = config or TrainingConfig()
+    if engine is None:
+        from ..train.engine import Engine
+        engine = Engine(config)
+    config = engine.config
     bus = bus if bus is not None else get_bus()
     start = time.perf_counter()
     model = create_model(model_name, dataset.num_nodes, dataset.adjacency,
@@ -268,7 +198,7 @@ def run_experiment(model_name: str, dataset: LoadedDataset,
     bus.emit(RunStarted(model=model_name, dataset=dataset.spec.name,
                         seed=seed, num_parameters=model.num_parameters(),
                         config=asdict(config)))
-    history = train_model(model, dataset, config, seed=seed, bus=bus)
+    history = engine.fit(model, dataset, seed=seed, bus=bus)
     evaluation = evaluate_model(model, dataset,
                                 eval_batch_size=config.eval_batch_size)
     bus.emit(EvalDone(

@@ -11,8 +11,9 @@ surface mirrors the torch layout:
 - masked losses (:mod:`repro.nn.losses`)
 """
 
-from . import (checkpoint, functional, gradcheck, init, kernels, losses,
-               optim, profiler, summary)
+from . import (arena, checkpoint, functional, gradcheck, init, kernels,
+               losses, optim, profiler, summary)
+from .arena import ParameterArena, ParamSpec
 from .layers import (BatchNorm, Conv1d, Conv2d, Dropout, Embedding, GRU,
                      GRUCell, GraphAttention, LSTM, LSTMCell, LayerNorm,
                      Linear, MultiHeadAttention)
@@ -22,6 +23,7 @@ from .tensor import Tensor, is_grad_enabled, no_grad
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled",
     "Module", "Parameter", "Sequential", "ModuleList",
+    "ParameterArena", "ParamSpec", "arena",
     "Linear", "Conv1d", "Conv2d", "GRU", "GRUCell", "LSTM", "LSTMCell",
     "MultiHeadAttention", "GraphAttention",
     "LayerNorm", "BatchNorm", "Embedding", "Dropout",

@@ -1,0 +1,164 @@
+"""Flat parameter arena: every ``Parameter`` as a view into one buffer.
+
+The optimizer hot loop used to pay one round of numpy-call overhead per
+parameter — DCRNN-sized models carry hundreds of small gate matrices, so
+``Adam.step`` spent more time dispatching tiny ufuncs than doing math.  A
+:class:`ParameterArena` packs every parameter of a module tree into one
+contiguous float buffer (and a twin buffer for gradients), then rebinds
+each ``Parameter`` so its ``data`` is a reshaped view of the arena.  The
+parameters keep working exactly as before (layers read and write their
+views in place), while global operations — optimizer moment updates,
+weight decay, gradient clipping, ``zero_grad`` — collapse to single
+vectorized ops over the flat buffers.
+
+Gradients land in the arena too: an arena-bound ``Parameter`` keeps a
+persistent flat gradient view (``Parameter.zero_grad`` zeroes it in place
+instead of dropping it to ``None``), so the autograd engine's in-place
+accumulation writes straight into ``ParameterArena.grad``.
+
+The per-parameter layout is recorded as a list of :class:`ParamSpec`
+(name/shape/offset) — the same spec the checkpoint format persists, so an
+optimizer state written from an arena can be restored into per-parameter
+buffers and vice versa (see :mod:`repro.nn.checkpoint`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ParamSpec", "ParameterArena"]
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Placement of one parameter inside a flat arena buffer."""
+
+    name: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements the parameter occupies."""
+        return int(np.prod(self.shape)) if self.shape else 1
+
+
+class ParameterArena:
+    """One contiguous data + grad buffer covering a list of parameters.
+
+    Construction copies every parameter's current values into the flat
+    ``data`` buffer and rebinds each ``Parameter`` in place:
+
+    - ``param.data`` becomes a reshaped view of ``arena.data``;
+    - ``param.grad`` becomes a reshaped view of ``arena.grad`` (zeroed, or
+      seeded with the pre-existing gradient when one was set).
+
+    Use :meth:`repro.nn.Module.flatten_parameters` rather than
+    constructing arenas directly — it deduplicates shared parameters and
+    memoises the arena on the module.
+    """
+
+    def __init__(self, named_parameters):
+        named = list(named_parameters)
+        if not named:
+            raise ValueError("cannot build an arena with no parameters")
+        seen: set[int] = set()
+        unique = []
+        for name, param in named:
+            if id(param) in seen:       # shared/tied parameters appear once
+                continue
+            seen.add(id(param))
+            unique.append((name, param))
+        dtype = np.result_type(*(p.data.dtype for _, p in unique))
+
+        specs: list[ParamSpec] = []
+        offset = 0
+        for name, param in unique:
+            specs.append(ParamSpec(name=name, shape=tuple(param.shape),
+                                   offset=offset))
+            offset += param.size
+        self.specs: tuple[ParamSpec, ...] = tuple(specs)
+        self.data = np.empty(offset, dtype=dtype)
+        self.grad = np.zeros(offset, dtype=dtype)
+        self.parameters = tuple(param for _, param in unique)
+
+        for spec, param in zip(self.specs, self.parameters):
+            stop = spec.offset + spec.size
+            self.data[spec.offset:stop] = param.data.ravel()
+            data_view = self.data[spec.offset:stop].reshape(spec.shape)
+            grad_view = self.grad[spec.offset:stop].reshape(spec.shape)
+            if param.grad is not None:
+                grad_view[...] = param.grad
+            param.data = data_view
+            param._grad_view = grad_view
+            param._arena = self
+            param.grad = grad_view
+
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Total number of scalar parameters in the arena."""
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.parameters)
+
+    def covers(self, parameters) -> bool:
+        """Whether this arena binds exactly ``parameters`` (same order)."""
+        parameters = list(parameters)
+        return (len(parameters) == len(self.parameters)
+                and all(a is b for a, b in zip(parameters, self.parameters))
+                and all(p.data.base is not None
+                        and self._owns(p.data) for p in parameters))
+
+    def _owns(self, view: np.ndarray) -> bool:
+        base = view
+        while base.base is not None:
+            base = base.base
+        return base is self.data
+
+    def zero_grad(self) -> None:
+        """Zero the whole gradient buffer (one memset) and re-arm views."""
+        self.grad.fill(0.0)
+        for param in self.parameters:
+            param.grad = param._grad_view
+
+    def sync_grads(self) -> None:
+        """Re-point stray gradients back into the arena.
+
+        Code that assigns ``param.grad`` directly (tests, hand-rolled
+        updates) bypasses the arena views; this copies such gradients into
+        the flat buffer so fused optimizer math sees them.  ``None`` grads
+        become zeros — the arena's semantics for "no gradient".
+        """
+        for param in self.parameters:
+            if param.grad is param._grad_view:
+                continue
+            if param.grad is None:
+                param._grad_view.fill(0.0)
+            else:
+                param._grad_view[...] = param.grad
+            param.grad = param._grad_view
+
+    def state_like(self) -> tuple[np.ndarray, list[np.ndarray]]:
+        """A zeroed flat buffer plus its per-parameter views.
+
+        Optimizers allocate their moment/velocity state this way so the
+        fused path updates the flat array while the reference per-parameter
+        loop updates the views — one set of numbers, two access patterns.
+        """
+        flat = np.zeros_like(self.data)
+        views = [flat[s.offset:s.offset + s.size].reshape(s.shape)
+                 for s in self.specs]
+        return flat, views
+
+    def grad_norm(self) -> float:
+        """Global L2 norm of the gradient buffer (single reduction)."""
+        g = self.grad
+        return float(np.sqrt(float((g * g).sum())))
+
+    def __repr__(self) -> str:
+        return (f"ParameterArena({len(self.parameters)} parameters, "
+                f"{self.size:,} elements, dtype={self.data.dtype})")

@@ -277,10 +277,11 @@ def bench_kernels(mode: str = "quick", bus: EventBus | None = None,
     return results
 
 
-def timings_to_record(timings: list[KernelTiming], mode: str) -> dict:
-    """JSON-safe record of one suite run (the ``BENCH_kernels.json`` body)."""
+def timings_to_record(timings: list[KernelTiming], mode: str,
+                      suite: str = "kernels") -> dict:
+    """JSON-safe record of one suite run (the ``BENCH_<suite>.json`` body)."""
     return {
-        "suite": "kernels",
+        "suite": suite,
         "mode": mode,
         "numpy": np.__version__,
         "timings": [
@@ -295,9 +296,9 @@ def timings_to_record(timings: list[KernelTiming], mode: str) -> dict:
 
 
 def write_bench_json(timings: list[KernelTiming], path: str | Path,
-                     mode: str) -> None:
+                     mode: str, suite: str = "kernels") -> None:
     """Write :func:`timings_to_record` to ``path`` (pretty-printed)."""
-    record = timings_to_record(timings, mode)
+    record = timings_to_record(timings, mode, suite=suite)
     Path(path).write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
                           encoding="utf-8")
 

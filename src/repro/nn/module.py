@@ -17,10 +17,30 @@ __all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
 
 
 class Parameter(Tensor):
-    """A tensor flagged as learnable (``requires_grad=True``)."""
+    """A tensor flagged as learnable (``requires_grad=True``).
+
+    A parameter may be *arena-bound* (see :class:`repro.nn.arena.ParameterArena`
+    and :meth:`Module.flatten_parameters`): its ``data`` is then a view into
+    one flat buffer shared by every parameter of the model, and it keeps a
+    persistent flat gradient view so backward passes accumulate straight
+    into the arena.  Free-standing parameters behave exactly as before.
+    """
+
+    __slots__ = ("_grad_view", "_arena")
 
     def __init__(self, data, *, dtype=None):
         super().__init__(data, requires_grad=True, dtype=dtype)
+        self._grad_view = None          # arena gradient view, when bound
+        self._arena = None              # owning ParameterArena, when bound
+
+    def zero_grad(self) -> None:
+        if self._grad_view is not None:
+            # Arena-bound: zero the persistent view in place so autograd
+            # keeps accumulating into the flat buffer.
+            self._grad_view.fill(0.0)
+            self.grad = self._grad_view
+        else:
+            self.grad = None
 
 
 class Module:
@@ -67,6 +87,30 @@ class Module:
     def num_parameters(self) -> int:
         """Total number of scalar learnable parameters."""
         return sum(p.size for p in self.parameters())
+
+    def flatten_parameters(self):
+        """Pack every parameter into one flat arena; returns the arena.
+
+        All parameter data (and gradients) are rebound as views into one
+        contiguous buffer pair, enabling the fused single-array optimizer
+        paths and one-reduction gradient clipping (see
+        :mod:`repro.nn.arena`).  Idempotent: calling again returns the
+        existing arena while it still covers the parameter tree exactly.
+        """
+        from .arena import ParameterArena
+
+        existing = getattr(self, "_flat_arena", None)
+        seen: set[int] = set()
+        unique = []
+        for param in self.parameters():
+            if id(param) not in seen:       # tied parameters appear once
+                seen.add(id(param))
+                unique.append(param)
+        if existing is not None and existing.covers(unique):
+            return existing
+        arena = ParameterArena(self.named_parameters())
+        object.__setattr__(self, "_flat_arena", arena)
+        return arena
 
     # ------------------------------------------------------------------ #
     # modes / grads

@@ -1,4 +1,9 @@
-"""RMSprop and Adagrad — adaptive-rate optimizers for sweep comparisons."""
+"""RMSprop and Adagrad — adaptive-rate optimizers for sweep comparisons.
+
+Both take the fused single-array path over a parameter arena when one is
+available, with the per-parameter loop kept as the reference path (see
+:func:`~repro.nn.optim.use_reference_optim`).
+"""
 
 from __future__ import annotations
 
@@ -23,10 +28,31 @@ class RMSprop(Optimizer):
         self.eps = eps
         self.weight_decay = weight_decay
         self.momentum = momentum
-        self._square_avg = [np.zeros_like(p.data) for p in self.parameters]
-        self._buffer = [np.zeros_like(p.data) for p in self.parameters]
+        self._square_avg_flat, self._square_avg = self._state_buffers()
+        self._buffer_flat, self._buffer = self._state_buffers()
 
     def step(self) -> None:
+        if self._fused():
+            self._step_fused()
+        else:
+            self._step_loop()
+
+    def _step_fused(self) -> None:
+        data, grad = self.arena.data, self.arena.grad
+        square_avg = self._square_avg_flat
+        if self.weight_decay:
+            grad = grad + self.weight_decay * data
+        square_avg *= self.alpha
+        square_avg += (1.0 - self.alpha) * grad * grad
+        update = grad / (np.sqrt(square_avg) + self.eps)
+        if self.momentum:
+            buffer = self._buffer_flat
+            buffer *= self.momentum
+            buffer += update
+            update = buffer
+        data -= self.lr * update
+
+    def _step_loop(self) -> None:
         for param, square_avg, buffer in zip(self.parameters,
                                              self._square_avg, self._buffer):
             if param.grad is None:
@@ -52,9 +78,23 @@ class Adagrad(Optimizer):
         super().__init__(parameters, lr)
         self.eps = eps
         self.weight_decay = weight_decay
-        self._accumulator = [np.zeros_like(p.data) for p in self.parameters]
+        self._accumulator_flat, self._accumulator = self._state_buffers()
 
     def step(self) -> None:
+        if self._fused():
+            self._step_fused()
+        else:
+            self._step_loop()
+
+    def _step_fused(self) -> None:
+        data, grad = self.arena.data, self.arena.grad
+        accumulator = self._accumulator_flat
+        if self.weight_decay:
+            grad = grad + self.weight_decay * data
+        accumulator += grad * grad
+        data -= self.lr * grad / (np.sqrt(accumulator) + self.eps)
+
+    def _step_loop(self) -> None:
         for param, accumulator in zip(self.parameters, self._accumulator):
             if param.grad is None:
                 continue

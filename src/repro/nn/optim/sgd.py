@@ -1,4 +1,9 @@
-"""Stochastic gradient descent with optional momentum and weight decay."""
+"""Stochastic gradient descent with optional momentum and weight decay.
+
+Fused single-array updates over a parameter arena by default; the original
+per-parameter loop stays available as the reference path (see
+:func:`~repro.nn.optim.use_reference_optim`).
+"""
 
 from __future__ import annotations
 
@@ -18,9 +23,26 @@ class SGD(Optimizer):
         super().__init__(parameters, lr)
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._velocity_flat, self._velocity = self._state_buffers()
 
     def step(self) -> None:
+        if self._fused():
+            self._step_fused()
+        else:
+            self._step_loop()
+
+    def _step_fused(self) -> None:
+        data, grad = self.arena.data, self.arena.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * data
+        if self.momentum:
+            velocity = self._velocity_flat
+            velocity *= self.momentum
+            velocity += grad
+            grad = velocity
+        data -= self.lr * grad
+
+    def _step_loop(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None:
                 continue

@@ -24,10 +24,10 @@ Quickstart::
 """
 
 from .events import (EVENT_KINDS, BatchEnd, CheckpointSaved, ConsoleSink,
-                     EpochEnd, EvalDone, Event, EventBus, JSONLSink,
-                     KernelBench, MemorySink, ProfileSnapshot, RunFinished,
-                     RunStarted, bus_scope, event_from_record,
-                     event_to_record, get_bus)
+                     EpochEnd, EvalDone, Event, EventBus, GradClip,
+                     JSONLSink, KernelBench, MemorySink, OptimBench,
+                     ProfileSnapshot, RunFinished, RunStarted, bus_scope,
+                     event_from_record, event_to_record, get_bus)
 from .manifest import (RunManifest, build_manifest, peak_rss_kb,
                        read_manifest, write_manifest)
 from .metrics import Counter, Timer, profile_region, snapshot_from_report
@@ -36,6 +36,7 @@ from .trace import read_trace, summarize_trace, validate_record, validate_trace
 __all__ = [
     "Event", "RunStarted", "BatchEnd", "EpochEnd", "EvalDone",
     "CheckpointSaved", "RunFinished", "ProfileSnapshot", "KernelBench",
+    "GradClip", "OptimBench",
     "EVENT_KINDS",
     "event_to_record", "event_from_record",
     "EventBus", "ConsoleSink", "JSONLSink", "MemorySink",

@@ -34,6 +34,7 @@ from typing import Any, Callable, ClassVar, Iterable, TextIO
 __all__ = [
     "Event", "RunStarted", "BatchEnd", "EpochEnd", "EvalDone",
     "CheckpointSaved", "RunFinished", "ProfileSnapshot", "KernelBench",
+    "GradClip", "OptimBench",
     "EVENT_KINDS", "event_to_record", "event_from_record",
     "EventBus", "ConsoleSink", "JSONLSink", "MemorySink",
     "get_bus", "bus_scope",
@@ -140,6 +141,39 @@ class ProfileSnapshot(Event):
 
 
 @dataclass
+class GradClip(Event):
+    """Gradient clipping actually rescaled the gradients this step.
+
+    Emitted by the training engine only when the pre-clip global norm
+    exceeded ``max_norm`` (quiet steps emit nothing), so a trace shows
+    exactly where training was running hot.
+    """
+
+    kind: ClassVar[str] = "grad_clip"
+    epoch: int = 0
+    batch: int = 0
+    norm: float = 0.0
+    max_norm: float = 0.0
+
+
+@dataclass
+class OptimBench(Event):
+    """One optimizer benchmark case: reference-loop vs fused timings.
+
+    Emitted by :mod:`repro.nn.optim_bench` for every case; ``meta``
+    carries the case's parameter-list geometry.
+    """
+
+    kind: ClassVar[str] = "optim_bench"
+    name: str = ""
+    mode: str = "quick"
+    reference_seconds: float = 0.0
+    fast_seconds: float = 0.0
+    speedup: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
 class KernelBench(Event):
     """One kernel benchmark case: reference vs. optimised timings.
 
@@ -159,7 +193,8 @@ class KernelBench(Event):
 EVENT_KINDS: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (RunStarted, BatchEnd, EpochEnd, EvalDone, CheckpointSaved,
-                RunFinished, ProfileSnapshot, KernelBench)
+                RunFinished, ProfileSnapshot, KernelBench, GradClip,
+                OptimBench)
 }
 
 
@@ -224,11 +259,14 @@ class ConsoleSink:
             return (f"[profile] {event.label}: {event.total_nodes} nodes, "
                     f"{event.total_elements:,} elements "
                     f"({event.wall_seconds:.4f}s)")
-        if isinstance(event, KernelBench):
+        if isinstance(event, (KernelBench, OptimBench)):
             return (f"[bench] {event.name}: reference "
                     f"{event.reference_seconds * 1e3:.2f}ms -> "
                     f"{event.fast_seconds * 1e3:.2f}ms "
                     f"({event.speedup:.2f}x)")
+        if isinstance(event, GradClip):
+            return (f"    clip epoch {event.epoch} batch {event.batch} "
+                    f"norm={event.norm:.3f} -> {event.max_norm:.3f}")
         return f"[{event.kind}]"
 
     def __call__(self, event: Event) -> None:

@@ -5,10 +5,10 @@ import json
 import pytest
 
 from repro.obs import (EVENT_KINDS, BatchEnd, CheckpointSaved, ConsoleSink,
-                       EpochEnd, EvalDone, EventBus, JSONLSink, KernelBench,
-                       MemorySink, ProfileSnapshot, RunFinished, RunStarted,
-                       bus_scope, event_from_record, event_to_record,
-                       get_bus, read_trace)
+                       EpochEnd, EvalDone, EventBus, GradClip, JSONLSink,
+                       KernelBench, MemorySink, OptimBench, ProfileSnapshot,
+                       RunFinished, RunStarted, bus_scope, event_from_record,
+                       event_to_record, get_bus, read_trace)
 
 
 def sample_events():
@@ -30,6 +30,10 @@ def sample_events():
         KernelBench(name="conv2d_backward", mode="full",
                     reference_seconds=0.04, fast_seconds=0.01, speedup=4.0,
                     meta={"kernel": [1, 3]}),
+        GradClip(epoch=1, batch=3, norm=7.25, max_norm=5.0),
+        OptimBench(name="adam_step", mode="full",
+                   reference_seconds=0.02, fast_seconds=0.005, speedup=4.0,
+                   meta={"parameters": 300}),
     ]
 
 
