@@ -23,6 +23,9 @@ Environment knobs (all optional):
 - ``REPRO_BENCH_OPTIM``   workload preset for the optimizer suite in
   ``bench_optim.py`` (default ``full``; same quick/full semantics as the
   kernel suite)
+- ``REPRO_BENCH_DATA``    workload preset for the data-pipeline suite in
+  ``bench_data.py`` (default ``full``; same quick/full semantics — the
+  cache-hit and memory floors are only asserted in ``full`` mode)
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
 BENCH_TRACE = os.environ.get("REPRO_BENCH_TRACE") or None
 BENCH_KERNELS_MODE = os.environ.get("REPRO_BENCH_KERNELS", "full")
 BENCH_OPTIM_MODE = os.environ.get("REPRO_BENCH_OPTIM", "full")
+BENCH_DATA_MODE = os.environ.get("REPRO_BENCH_DATA", "full")
 
 BENCH_CONFIG = TrainingConfig(epochs=BENCH_EPOCHS, batch_size=32,
                               max_batches_per_epoch=BENCH_BATCHES,
@@ -77,3 +81,15 @@ def optim_bench_mode():
             f"REPRO_BENCH_OPTIM={BENCH_OPTIM_MODE!r} is not a known "
             f"mode; expected one of {sorted(OPTIM_BENCH_MODES)}")
     return BENCH_OPTIM_MODE
+
+
+@pytest.fixture(scope="session")
+def data_bench_mode():
+    """Workload preset for the data-pipeline suite (``REPRO_BENCH_DATA``)."""
+    from repro.datasets.data_bench import DATA_BENCH_MODES
+
+    if BENCH_DATA_MODE not in DATA_BENCH_MODES:
+        raise ValueError(
+            f"REPRO_BENCH_DATA={BENCH_DATA_MODE!r} is not a known "
+            f"mode; expected one of {sorted(DATA_BENCH_MODES)}")
+    return BENCH_DATA_MODE

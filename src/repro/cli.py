@@ -13,8 +13,12 @@ Commands
 - ``bench``    — engine benchmarks (``bench kernels`` times the hot
   kernels against the reference ``np.add.at`` paths; ``bench optim``
   times the fused arena optimizer updates against the per-parameter
-  reference loop; ``--json`` records ``BENCH_kernels.json`` /
-  ``BENCH_optim.json``)
+  reference loop; ``bench data`` times the lazy window pipeline and the
+  dataset cache against eager builds and cold loads; ``--json`` records
+  ``BENCH_kernels.json`` / ``BENCH_optim.json`` / ``BENCH_data.json``)
+- ``cache``    — inspect the content-addressed dataset cache
+  (``cache ls`` / ``cache info <key>`` / ``cache clear``; see
+  docs/data.md)
 
 ``run`` and ``benchmark`` accept ``--trace PATH`` to record every telemetry
 event as JSONL (plus a ``run.json`` manifest; see docs/observability.md);
@@ -131,6 +135,27 @@ def build_parser() -> argparse.ArgumentParser:
                              help="write results JSON (BENCH_optim.json)")
     bench_optim.add_argument("--trace", metavar="PATH",
                              help="record optim_bench events as JSONL")
+    bench_data = bench_sub.add_parser(
+        "data", help="time the lazy window pipeline and the dataset cache "
+                     "against eager builds and cold loads")
+    bench_data.add_argument("--mode", default="full",
+                            choices=("quick", "full"),
+                            help="workload preset (quick for smoke runs)")
+    bench_data.add_argument("--case", nargs="+", metavar="NAME",
+                            help="restrict to specific benchmark cases")
+    bench_data.add_argument("--json", metavar="PATH",
+                            help="write results JSON (BENCH_data.json)")
+    bench_data.add_argument("--trace", metavar="PATH",
+                            help="record data_bench events as JSONL")
+
+    cache = sub.add_parser(
+        "cache", help="inspect the content-addressed dataset cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("ls", help="list cached worlds (newest first)")
+    cache_info = cache_sub.add_parser(
+        "info", help="show one entry's spec, window, and array shapes")
+    cache_info.add_argument("key", help="cache key (or unique prefix)")
+    cache_sub.add_parser("clear", help="delete every cached world")
     return parser
 
 
@@ -274,12 +299,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from .nn.tensor import Tensor
 
     data = load_dataset(args.dataset, scale="ci")
+    train = data.supervised.train
     model = create_model(args.model, data.num_nodes, data.adjacency,
-                         in_features=data.supervised.train.x.shape[-1],
-                         seed=0)
-    x = Tensor(data.supervised.train.x[:args.batch_size])
-    y = Tensor(data.supervised.scaler.transform(
-        data.supervised.train.y[:args.batch_size]))
+                         in_features=train.num_features, seed=0)
+    batch = min(args.batch_size, train.num_samples)
+    x_batch, y_batch, _ = train.batch(np.arange(batch),
+                                      target_scaler=data.supervised.scaler)
+    x, y = Tensor(x_batch), Tensor(y_batch)
     print(f"{args.model} on {args.dataset} "
           f"(batch {args.batch_size}, {data.num_nodes} nodes)\n")
     print(summarize(model, max_depth=1))
@@ -294,6 +320,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from .datasets.data_bench import bench_data
     from .nn.kernel_bench import (bench_kernels, render_timings,
                                   write_bench_json)
     from .nn.optim_bench import bench_optim
@@ -307,6 +334,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         suite, event_kind, run = "optim", "optim_bench", bench_optim
         banner = (f"Optimizer benchmark suite (mode={args.mode}) — "
                   f"per-parameter reference loop vs fused arena updates")
+    elif args.bench_command == "data":
+        suite, event_kind, run = "data", "data_bench", bench_data
+        banner = (f"Data pipeline benchmark suite (mode={args.mode}) — "
+                  f"eager windows / cold loads vs lazy gathers / cache hits")
     else:
         return 1
     sinks = [ConsoleSink(kinds=(event_kind,))]
@@ -326,6 +357,49 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.trace:
         print(f"Events written to {args.trace}")
     return 0
+
+
+def _format_bytes(size: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    return f"{size:.1f} GiB"
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from .datasets.cache import DatasetCache
+
+    store = DatasetCache()
+    if args.cache_command == "ls":
+        entries = store.entries()
+        if not entries:
+            print(f"cache empty ({store.directory})")
+            return 0
+        print(f"{'dataset':<10} {'scale':<6} {'key':<16} {'size':>10}")
+        for entry in entries:
+            print(f"{entry.name:<10} {entry.scale:<6} {entry.key:<16} "
+                  f"{_format_bytes(entry.size_bytes):>10}")
+        total = sum(e.size_bytes for e in entries)
+        print(f"\n{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+              f"{_format_bytes(total)} in {store.directory}")
+        return 0
+    if args.cache_command == "info":
+        try:
+            info = store.info(args.key)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 1
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    if args.cache_command == "clear":
+        removed, freed = store.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}, "
+              f"freed {_format_bytes(freed)} ({store.directory})")
+        return 0
+    return 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -366,6 +440,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return 1
 
 

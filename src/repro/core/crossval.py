@@ -4,7 +4,10 @@ The paper evaluates on one chronological 7:1:2 split; a single test window
 can be lucky or unlucky (e.g. all its incidents at easy sensors).
 Rolling-origin evaluation — train on an expanding prefix, test on the next
 block, roll forward — gives a variance estimate over *time* instead of
-over seeds only.
+over seeds only.  Folds re-window the same simulated series, which the
+world cache (:mod:`repro.datasets.cache`) serves without re-simulating,
+and the per-fold windows stay lazy — each fold holds views, not stacked
+tensors.
 """
 
 from __future__ import annotations

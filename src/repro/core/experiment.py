@@ -133,7 +133,12 @@ def train_model(model: TrafficModel, dataset: LoadedDataset,
 def predict(model: TrafficModel, split: SupervisedSplit, scaler,
             batch_size: int = 64) -> tuple[np.ndarray, float]:
     """Run inference over a split; returns (predictions in original units,
-    wall-clock seconds)."""
+    wall-clock seconds).
+
+    Batches flow through the same :class:`~repro.datasets.DataLoader`
+    gather path as training, so a lazy split never materialises its full
+    input tensor for evaluation either.
+    """
     model.eval()
     loader = DataLoader(split, batch_size=batch_size, shuffle=False)
     outputs = []
@@ -193,7 +198,7 @@ def run_experiment(model_name: str, dataset: LoadedDataset,
     model = create_model(model_name, dataset.num_nodes, dataset.adjacency,
                          history=dataset.supervised.config.history,
                          horizon=dataset.supervised.config.horizon,
-                         in_features=dataset.supervised.train.x.shape[-1],
+                         in_features=dataset.supervised.train.num_features,
                          seed=seed, **model_hparams)
     bus.emit(RunStarted(model=model_name, dataset=dataset.spec.name,
                         seed=seed, num_parameters=model.num_parameters(),

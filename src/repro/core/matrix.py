@@ -4,7 +4,9 @@ One object owns the model×dataset grid the paper evaluates: datasets are
 built once, each (model, dataset) cell is trained once per seed set, and
 aggregated cells are memoised — in memory always, and optionally on disk
 (JSON keyed by a config fingerprint) so repeated benchmark invocations skip
-finished cells.
+finished cells.  Dataset builds themselves go through ``load_dataset``'s
+content-addressed world cache (:mod:`repro.datasets.cache`), so even a
+fresh process reuses previously simulated worlds.
 """
 
 from __future__ import annotations

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..datasets.catalog import LoadedDataset
+from ..datasets.loader import DataLoader
 from ..datasets.windows import SupervisedSplit
 from ..models.base import TrafficModel
 from ..nn import no_grad
@@ -96,12 +97,14 @@ def robustness_probe(model: TrafficModel, dataset: LoadedDataset,
     scaler = dataset.supervised.scaler
     results: dict[str, dict[int, HorizonMetrics]] = {}
     model.eval()
+    # Batches come from the same DataLoader gather path as evaluation, so
+    # a lazy split stays lazy — each corrupted batch is built on demand.
+    loader = DataLoader(split, batch_size=batch_size, shuffle=False)
     for corruption in [Corruption("clean", lambda x, rng: x)] + corruptions:
         rng = np.random.default_rng(seed)
         outputs = []
         with no_grad():
-            for lo in range(0, split.num_samples, batch_size):
-                x = split.x[lo:lo + batch_size]
+            for x, _, _ in loader:
                 outputs.append(model(Tensor(corruption.apply(x, rng))).numpy())
         prediction = scaler.inverse_transform(np.concatenate(outputs, axis=0))
         results[corruption.name] = evaluate_horizons(prediction, split.y)

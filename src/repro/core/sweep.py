@@ -2,7 +2,9 @@
 
 The paper reuses each model's published hyper-parameters; this helper makes
 it easy to check how sensitive the benchmark rankings are to that choice —
-one of the threats to validity for any cross-model comparison.
+one of the threats to validity for any cross-model comparison.  Every
+configuration trains on the same :class:`LoadedDataset` (one cached world,
+lazy windows), so sweep cost is pure training cost.
 """
 
 from __future__ import annotations

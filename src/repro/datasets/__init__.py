@@ -1,5 +1,8 @@
-"""Synthetic PeMS-style datasets: simulator, catalog, windows, loaders."""
+"""Synthetic PeMS-style datasets: simulator, catalog, lazy windows,
+loaders, and the content-addressed world cache."""
 
+from .cache import (CACHE_FORMAT_VERSION, CacheEntry, DatasetCache,
+                    cache_enabled, dataset_cache_key, default_cache_dir)
 from .catalog import (DATASETS, FLOW_DATASETS, SPEED_DATASETS, DatasetSpec,
                       LoadedDataset, dataset_names, load_dataset)
 from .imputation import (impute_forward_fill, impute_historical_mean,
@@ -11,7 +14,8 @@ from .generator import (STEPS_PER_DAY, STEPS_PER_HOUR, SimulationConfig,
 from .loader import DataLoader
 from .scalers import MinMaxScaler, StandardScaler
 from .windows import (SupervisedDataset, SupervisedSplit, WindowConfig,
-                      make_windows)
+                      WindowSource, make_windows, reference_pipeline_enabled,
+                      use_reference_pipeline)
 
 __all__ = [
     "DatasetSpec", "LoadedDataset", "DATASETS", "SPEED_DATASETS",
@@ -19,8 +23,11 @@ __all__ = [
     "SimulationConfig", "SimulationResult", "TrafficSimulator",
     "STEPS_PER_DAY", "STEPS_PER_HOUR",
     "speed_from_density", "flow_from_density", "density_from_speed",
-    "WindowConfig", "SupervisedDataset", "SupervisedSplit", "make_windows",
+    "WindowConfig", "WindowSource", "SupervisedDataset", "SupervisedSplit",
+    "make_windows", "use_reference_pipeline", "reference_pipeline_enabled",
     "StandardScaler", "MinMaxScaler", "DataLoader",
     "save_dataset", "load_saved_dataset",
+    "DatasetCache", "CacheEntry", "dataset_cache_key", "default_cache_dir",
+    "cache_enabled", "CACHE_FORMAT_VERSION",
     "impute_forward_fill", "impute_linear", "impute_historical_mean",
 ]

@@ -7,16 +7,24 @@ and ``bench`` presets so the full model×dataset matrix trains on CPU.
 
 Loading a dataset builds the road network, runs the traffic simulator, and
 returns windowed supervised splits plus the Gaussian-kernel adjacency.
+Built worlds are memoised on disk by a content hash of everything that
+determines them (see :mod:`repro.datasets.cache`), so the benchmark
+matrix, cross-validation, and sweeps simulate each world once; telemetry
+(``cache_hit`` / ``cache_miss`` / ``dataset_build`` events) records which
+path served every load.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..graph.adjacency import gaussian_adjacency
 from ..graph.road_network import RoadNetwork, build_network
+from ..obs.events import CacheHit, CacheMiss, DatasetBuild, get_bus
+from .cache import DatasetCache, cache_enabled, dataset_cache_key
 from .generator import SimulationConfig, SimulationResult, TrafficSimulator
 from .windows import SupervisedDataset, WindowConfig, make_windows
 
@@ -129,7 +137,8 @@ def _scaled_size(spec: DatasetSpec, scale: str) -> tuple[int, int]:
 
 def load_dataset(name: str, scale: str = "ci",
                  window: WindowConfig | None = None,
-                 seed_offset: int = 0) -> LoadedDataset:
+                 seed_offset: int = 0,
+                 cache: bool | None = None) -> LoadedDataset:
     """Build a named dataset at the requested scale.
 
     Parameters
@@ -141,19 +150,42 @@ def load_dataset(name: str, scale: str = "ci",
     seed_offset:
         Added to the dataset's base seed — lets property tests draw distinct
         but reproducible worlds.
+    cache:
+        Consult/populate the on-disk world cache (see
+        :mod:`repro.datasets.cache`).  ``None`` follows the
+        ``REPRO_DATA_CACHE`` environment default (on); ``False`` forces a
+        fresh build, ``True`` forces cache use.
     """
-    key = name.lower().replace("_", "-")
-    if key not in DATASETS:
+    spec_key = name.lower().replace("_", "-")
+    if spec_key not in DATASETS:
         raise KeyError(f"unknown dataset {name!r}; choose from {dataset_names()}")
-    spec = DATASETS[key]
+    spec = DATASETS[spec_key]
     num_nodes, num_days = _scaled_size(spec, scale)
-
-    network = build_network(num_nodes, topology=spec.topology,
-                            seed=spec.sim_seed + seed_offset)
     sim_config = SimulationConfig(
         num_days=num_days,
         rush_intensity=spec.rush_intensity,
         incident_rate_per_day=spec.incident_rate_per_day)
+    window = window or WindowConfig()
+
+    use_cache = cache_enabled() if cache is None else bool(cache)
+    bus = get_bus()
+    store = DatasetCache() if use_cache else None
+    cache_key = dataset_cache_key(spec, sim_config, window, seed_offset,
+                                  scale)
+    if store is not None:
+        start = time.perf_counter()
+        cached = store.get(spec.name, scale, cache_key)
+        if cached is not None:
+            bus.emit(CacheHit(name=spec.name, scale=scale, key=cache_key,
+                              path=str(store.path_for(spec.name, scale,
+                                                      cache_key)),
+                              seconds=time.perf_counter() - start))
+            return cached
+        bus.emit(CacheMiss(name=spec.name, scale=scale, key=cache_key))
+
+    build_start = time.perf_counter()
+    network = build_network(num_nodes, topology=spec.topology,
+                            seed=spec.sim_seed + seed_offset)
     simulation = TrafficSimulator(network, sim_config,
                                   seed=spec.sim_seed + seed_offset).run()
 
@@ -174,6 +206,14 @@ def load_dataset(name: str, scale: str = "ci",
                               day_of_week=simulation.day_of_week)
     adjacency = gaussian_adjacency(network)
 
-    return LoadedDataset(spec=spec, scale=scale, network=network,
-                         adjacency=adjacency, simulation=simulation,
-                         supervised=supervised)
+    dataset = LoadedDataset(spec=spec, scale=scale, network=network,
+                            adjacency=adjacency, simulation=simulation,
+                            supervised=supervised)
+    if store is not None:
+        store.put(dataset, cache_key)
+    bus.emit(DatasetBuild(name=spec.name, scale=scale,
+                          num_nodes=dataset.num_nodes,
+                          num_steps=len(simulation.time_of_day),
+                          seconds=time.perf_counter() - build_start,
+                          cached=store is not None))
+    return dataset

@@ -2,7 +2,9 @@
 
 Paper-scale simulations (hundreds of sensors, months of 5-minute steps)
 take a while to generate; persisting them lets the benchmark matrix reuse
-one world across model runs and lets users share exact datasets.
+one world across model runs and lets users share exact datasets.  The
+content-addressed dataset cache (:mod:`repro.datasets.cache`) round-trips
+every built world through this module.
 """
 
 from __future__ import annotations
@@ -24,7 +26,8 @@ __all__ = ["save_dataset", "load_saved_dataset"]
 def save_dataset(dataset: LoadedDataset, path: str | Path) -> None:
     """Persist a loaded dataset (simulation + graph) to one ``.npz`` file.
 
-    The supervised windows are *not* stored — they are cheap to rebuild and
+    The supervised windows are *not* stored — rebuilding them is a few
+    zero-copy sliding views under the lazy pipeline, while storing them
     would multiply the file size ~24x.
     """
     path = Path(path)
@@ -88,7 +91,8 @@ def load_saved_dataset(path: str | Path) -> LoadedDataset:
     spec = DatasetSpec(**meta["spec"])
     window = WindowConfig(**meta["window"])
     values = sim.speed if spec.task == "speed" else sim.flow
-    supervised = make_windows(values, sim.time_of_day, window)
+    supervised = make_windows(values, sim.time_of_day, window,
+                              day_of_week=sim.day_of_week)
 
     return LoadedDataset(spec=spec, scale=meta["scale"], network=network,
                          adjacency=adjacency, simulation=sim,

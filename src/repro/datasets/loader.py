@@ -14,18 +14,29 @@ __all__ = ["DataLoader"]
 class DataLoader:
     """Iterates ``(x, y, start_index)`` mini-batches.
 
-    Shuffling uses its own generator so epoch order is reproducible per seed
-    independently of model-weight randomness.
+    Batches are gathered through :meth:`SupervisedSplit.batch`, so a lazy
+    split never materialises its full input tensor — each batch is built
+    from the shared window views on demand.  Shuffling uses its own
+    generator so epoch order is reproducible per seed independently of
+    model-weight randomness.
+
+    ``target_scaler`` yields targets in scaled units (training loops need
+    them scaled every epoch); the transform is hoisted to dataset level —
+    a lazy split gathers from the pre-scaled series, an eager split
+    transforms its target array once and caches it — instead of being
+    re-applied per batch.
     """
 
     def __init__(self, split: SupervisedSplit, batch_size: int = 64,
-                 shuffle: bool = False, seed: int = 0, drop_last: bool = False):
+                 shuffle: bool = False, seed: int = 0, drop_last: bool = False,
+                 target_scaler=None):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.split = split
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
+        self.target_scaler = target_scaler
         self._rng = np.random.default_rng(seed)
 
     def __len__(self) -> int:
@@ -40,7 +51,14 @@ class DataLoader:
         if self.shuffle:
             self._rng.shuffle(order)
         stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        gather = getattr(self.split, "batch", None)
         for lo in range(0, stop, self.batch_size):
             index = order[lo:lo + self.batch_size]
-            yield (self.split.x[index], self.split.y[index],
-                   self.split.start_index[index])
+            if gather is not None:
+                yield gather(index, target_scaler=self.target_scaler)
+            else:                       # duck-typed split without batch()
+                y = self.split.y[index]
+                if self.target_scaler is not None:
+                    y = self.target_scaler.transform(y)
+                yield (self.split.x[index], y,
+                       self.split.start_index[index])

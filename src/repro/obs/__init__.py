@@ -23,7 +23,8 @@ Quickstart::
     bus.close()
 """
 
-from .events import (EVENT_KINDS, BatchEnd, CheckpointSaved, ConsoleSink,
+from .events import (EVENT_KINDS, BatchEnd, CacheHit, CacheMiss,
+                     CheckpointSaved, ConsoleSink, DataBench, DatasetBuild,
                      EpochEnd, EvalDone, Event, EventBus, GradClip,
                      JSONLSink, KernelBench, MemorySink, OptimBench,
                      ProfileSnapshot, RunFinished, RunStarted, bus_scope,
@@ -36,7 +37,8 @@ from .trace import read_trace, summarize_trace, validate_record, validate_trace
 __all__ = [
     "Event", "RunStarted", "BatchEnd", "EpochEnd", "EvalDone",
     "CheckpointSaved", "RunFinished", "ProfileSnapshot", "KernelBench",
-    "GradClip", "OptimBench",
+    "GradClip", "OptimBench", "DataBench",
+    "CacheHit", "CacheMiss", "DatasetBuild",
     "EVENT_KINDS",
     "event_to_record", "event_from_record",
     "EventBus", "ConsoleSink", "JSONLSink", "MemorySink",

@@ -34,7 +34,8 @@ from typing import Any, Callable, ClassVar, Iterable, TextIO
 __all__ = [
     "Event", "RunStarted", "BatchEnd", "EpochEnd", "EvalDone",
     "CheckpointSaved", "RunFinished", "ProfileSnapshot", "KernelBench",
-    "GradClip", "OptimBench",
+    "GradClip", "OptimBench", "DataBench",
+    "CacheHit", "CacheMiss", "DatasetBuild",
     "EVENT_KINDS", "event_to_record", "event_from_record",
     "EventBus", "ConsoleSink", "JSONLSink", "MemorySink",
     "get_bus", "bus_scope",
@@ -190,11 +191,65 @@ class KernelBench(Event):
     meta: dict = field(default_factory=dict)
 
 
+@dataclass
+class DataBench(Event):
+    """One data-pipeline benchmark case: reference vs. optimised timings.
+
+    Emitted by :mod:`repro.datasets.data_bench` for every case (cold vs.
+    cached dataset loads, eager vs. lazy window pipelines); ``meta``
+    carries case-specific measurements such as batches/sec and peak
+    memory under both pipelines.
+    """
+
+    kind: ClassVar[str] = "data_bench"
+    name: str = ""
+    mode: str = "quick"
+    reference_seconds: float = 0.0
+    fast_seconds: float = 0.0
+    speedup: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class CacheHit(Event):
+    """A ``load_dataset`` call was served from the dataset cache."""
+
+    kind: ClassVar[str] = "cache_hit"
+    name: str = ""
+    scale: str = ""
+    key: str = ""
+    path: str = ""
+    seconds: float = 0.0
+
+
+@dataclass
+class CacheMiss(Event):
+    """A ``load_dataset`` call found no cache entry and must build."""
+
+    kind: ClassVar[str] = "cache_miss"
+    name: str = ""
+    scale: str = ""
+    key: str = ""
+
+
+@dataclass
+class DatasetBuild(Event):
+    """A dataset world was built from scratch (simulator + windows)."""
+
+    kind: ClassVar[str] = "dataset_build"
+    name: str = ""
+    scale: str = ""
+    num_nodes: int = 0
+    num_steps: int = 0
+    seconds: float = 0.0
+    cached: bool = False       # True when the build was written to the cache
+
+
 EVENT_KINDS: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (RunStarted, BatchEnd, EpochEnd, EvalDone, CheckpointSaved,
                 RunFinished, ProfileSnapshot, KernelBench, GradClip,
-                OptimBench)
+                OptimBench, DataBench, CacheHit, CacheMiss, DatasetBuild)
 }
 
 
@@ -259,11 +314,22 @@ class ConsoleSink:
             return (f"[profile] {event.label}: {event.total_nodes} nodes, "
                     f"{event.total_elements:,} elements "
                     f"({event.wall_seconds:.4f}s)")
-        if isinstance(event, (KernelBench, OptimBench)):
+        if isinstance(event, (KernelBench, OptimBench, DataBench)):
             return (f"[bench] {event.name}: reference "
                     f"{event.reference_seconds * 1e3:.2f}ms -> "
                     f"{event.fast_seconds * 1e3:.2f}ms "
                     f"({event.speedup:.2f}x)")
+        if isinstance(event, CacheHit):
+            return (f"[cache] hit {event.name} (scale={event.scale}) "
+                    f"key={event.key} ({event.seconds:.2f}s)")
+        if isinstance(event, CacheMiss):
+            return (f"[cache] miss {event.name} (scale={event.scale}) "
+                    f"key={event.key}")
+        if isinstance(event, DatasetBuild):
+            return (f"[build] {event.name} (scale={event.scale}) "
+                    f"{event.num_nodes} nodes x {event.num_steps} steps "
+                    f"({event.seconds:.2f}s)"
+                    + (" -> cached" if event.cached else ""))
         if isinstance(event, GradClip):
             return (f"    clip epoch {event.epoch} batch {event.batch} "
                     f"norm={event.norm:.3f} -> {event.max_norm:.3f}")

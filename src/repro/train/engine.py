@@ -121,10 +121,20 @@ class Engine:
         if resume_from is not None:
             self._resume(state, resume_from)
 
+        if (config.max_batches_per_epoch is not None
+                and config.max_batches_per_epoch <= 0):
+            raise ValueError(
+                f"max_batches_per_epoch must be >= 1 (got "
+                f"{config.max_batches_per_epoch}); every epoch needs at "
+                "least one optimisation step")
+        # The target transform is hoisted out of the epoch loop: the loader
+        # yields targets already in scaled units (a lazy split gathers them
+        # from the pre-scaled series, an eager split transforms its target
+        # array once) — targets are static across epochs.
         loader = DataLoader(dataset.supervised.train,
                             batch_size=config.batch_size,
-                            shuffle=True, seed=seed)
-        scaler = dataset.supervised.scaler
+                            shuffle=True, seed=seed,
+                            target_scaler=dataset.supervised.scaler)
 
         with contextlib.ExitStack() as stack:
             if config.verbose:
@@ -136,12 +146,11 @@ class Engine:
                 self._dispatch(callbacks, "on_epoch_start", state)
                 epoch_losses = []
                 start = time.perf_counter()
-                for batch_index, (x, y, _) in enumerate(loader):
+                for batch_index, (x, y_scaled, _) in enumerate(loader):
                     if (config.max_batches_per_epoch is not None
                             and batch_index >= config.max_batches_per_epoch):
                         break
                     state.batch = batch_index
-                    y_scaled = scaler.transform(y)
                     loss = model.training_loss(Tensor(x), Tensor(y_scaled))
                     optimizer.zero_grad()
                     # Each batch builds a fresh tape, so release this one
@@ -152,12 +161,20 @@ class Engine:
                     state.batch_loss = loss.item()
                     epoch_losses.append(state.batch_loss)
                     self._dispatch(callbacks, "on_batch_end", state)
+                if not epoch_losses:
+                    raise RuntimeError(
+                        f"epoch {epoch} produced no training batches "
+                        f"({dataset.supervised.train.num_samples} samples, "
+                        f"batch_size={config.batch_size}); the mean train "
+                        "loss would be NaN — use a larger split or a "
+                        "smaller batch size")
                 history.epoch_seconds.append(time.perf_counter() - start)
                 history.train_losses.append(float(np.mean(epoch_losses)))
                 self._dispatch(callbacks, "on_epoch_train_end", state)
 
                 val_prediction, _ = predict(model, dataset.supervised.val,
-                                            scaler, config.eval_batch_size)
+                                            dataset.supervised.scaler,
+                                            config.eval_batch_size)
                 state.val_mae = mae(val_prediction, dataset.supervised.val.y)
                 history.val_maes.append(state.val_mae)
                 self._dispatch(callbacks, "on_epoch_end", state)
@@ -182,11 +199,12 @@ class Engine:
         epoch or a stale ``train()`` mode behind.
         """
         split = dataset.supervised.train
-        if len(split.x) == 0:
+        if split.num_samples == 0:
             return True
-        x = Tensor(split.x[:1])
-        y = Tensor(dataset.supervised.scaler.transform(split.y[:1]))
-        return bool(model.training_loss(x, y).requires_grad)
+        x, y_scaled, _ = split.batch(
+            np.arange(1), target_scaler=dataset.supervised.scaler)
+        return bool(model.training_loss(Tensor(x),
+                                        Tensor(y_scaled)).requires_grad)
 
     @staticmethod
     def _resume(state: EngineState, path) -> None:

@@ -9,6 +9,22 @@ from repro.datasets import load_dataset
 from repro.graph import build_network, gaussian_adjacency
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_cache(tmp_path_factory):
+    """Point the dataset cache at a per-session temp dir so tests never
+    read from (or pollute) the user's ``~/.cache/repro``."""
+    import os
+
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield cache_dir
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 def numerical_gradient(func, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
     """Central-difference gradient of scalar ``func()`` w.r.t. ``array``.
 

@@ -64,3 +64,44 @@ class TestRoundTrip:
         loaded = load_saved_dataset(path)
         assert loaded.spec.task == "flow"
         np.testing.assert_allclose(loaded.values, ci_flow_dataset.values)
+
+    def test_missing_mask_exact(self, saved):
+        path, original = saved
+        loaded = load_saved_dataset(path)
+        assert loaded.simulation.missing_mask.dtype == \
+            original.simulation.missing_mask.dtype
+        np.testing.assert_array_equal(loaded.simulation.missing_mask,
+                                      original.simulation.missing_mask)
+        assert original.simulation.missing_mask.any()   # non-trivial mask
+
+    def test_day_of_week_exact(self, saved):
+        path, original = saved
+        loaded = load_saved_dataset(path)
+        np.testing.assert_array_equal(loaded.simulation.day_of_week,
+                                      original.simulation.day_of_week)
+        np.testing.assert_array_equal(loaded.simulation.time_of_day,
+                                      original.simulation.time_of_day)
+        np.testing.assert_array_equal(loaded.simulation.timestamps,
+                                      original.simulation.timestamps)
+
+    def test_incident_log_entries_exact(self, saved):
+        path, original = saved
+        loaded = load_saved_dataset(path)
+        assert loaded.simulation.incident_log == \
+            original.simulation.incident_log
+
+    def test_include_day_of_week_roundtrip(self, tmp_path):
+        from repro.datasets import WindowConfig
+
+        original = load_dataset(
+            "metr-la", scale="ci", cache=False,
+            window=WindowConfig(include_day_of_week=True))
+        path = tmp_path / "dow.npz"
+        save_dataset(original, path)
+        loaded = load_saved_dataset(path)
+        assert loaded.supervised.train.num_features == 3
+        idx = np.arange(3)
+        x_orig, y_orig, _ = original.supervised.train.batch(idx)
+        x_load, y_load, _ = loaded.supervised.train.batch(idx)
+        np.testing.assert_array_equal(x_load, x_orig)
+        np.testing.assert_array_equal(y_load, y_orig)

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.datasets import DataLoader
+from repro.core.intervals import difficult_mask, prediction_mask
+from repro.datasets import DataLoader, StandardScaler
 from repro.datasets.windows import SupervisedSplit
 
 
@@ -72,3 +73,60 @@ class TestDataLoader:
     def test_invalid_batch_size(self, split):
         with pytest.raises(ValueError):
             DataLoader(split, batch_size=0)
+
+    def test_drop_last_length_math(self, split):
+        # len() must agree with the number of batches actually yielded,
+        # for every divisor relationship between n=25 and batch_size.
+        for batch_size in (1, 4, 5, 24, 25, 26, 100):
+            for drop_last in (False, True):
+                loader = DataLoader(split, batch_size=batch_size,
+                                    drop_last=drop_last)
+                batches = list(loader)
+                assert len(loader) == len(batches)
+                expected = (25 // batch_size if drop_last
+                            else -(-25 // batch_size))
+                assert len(batches) == expected
+
+    def test_same_seed_same_order_across_epochs(self, split):
+        def epochs(loader, n=3):
+            return [np.concatenate([s for _, _, s in loader])
+                    for _ in range(n)]
+
+        a = epochs(DataLoader(split, batch_size=7, shuffle=True, seed=11))
+        b = epochs(DataLoader(split, batch_size=7, shuffle=True, seed=11))
+        for epoch_a, epoch_b in zip(a, b):
+            np.testing.assert_array_equal(epoch_a, epoch_b)
+        c = epochs(DataLoader(split, batch_size=7, shuffle=True, seed=12))
+        assert any(not np.array_equal(x, y) for x, y in zip(a, c))
+
+    def test_target_scaler_yields_scaled_targets(self, split):
+        scaler = StandardScaler().fit(split.y)
+        loader = DataLoader(split, batch_size=10, target_scaler=scaler)
+        for _, y_scaled, s in loader:
+            np.testing.assert_array_equal(
+                y_scaled, scaler.transform(split.y[s]))
+
+
+class TestStartIndexAlignment:
+    def test_start_index_aligns_with_difficult_masks(self, ci_dataset):
+        """The (start_index → mask row) contract: each yielded batch's
+        start indices must pick the difficult-interval mask rows of its
+        own windows, no matter how the loader shuffles."""
+        supervised = ci_dataset.supervised
+        split = supervised.test
+        hard = difficult_mask(supervised.series, window=6, quantile=0.75)
+        aligned = prediction_mask(hard, split.start_index,
+                                  supervised.config.horizon)
+        loader = DataLoader(split, batch_size=16, shuffle=True, seed=4)
+        position = {start: row for row, start in enumerate(split.start_index)}
+        for _, y, starts in loader:
+            rows = np.array([position[s] for s in starts])
+            np.testing.assert_array_equal(aligned[rows],
+                                          prediction_mask(
+                                              hard, starts,
+                                              supervised.config.horizon))
+            # and the targets are the series values at those positions
+            for i, start in enumerate(starts[:3]):
+                horizon = supervised.config.horizon
+                np.testing.assert_array_equal(
+                    y[i], supervised.series[start:start + horizon])

@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.obs import (EVENT_KINDS, BatchEnd, CheckpointSaved, ConsoleSink,
+from repro.obs import (EVENT_KINDS, BatchEnd, CacheHit, CacheMiss,
+                       CheckpointSaved, ConsoleSink, DataBench, DatasetBuild,
                        EpochEnd, EvalDone, EventBus, GradClip, JSONLSink,
                        KernelBench, MemorySink, OptimBench, ProfileSnapshot,
                        RunFinished, RunStarted, bus_scope, event_from_record,
@@ -34,6 +35,15 @@ def sample_events():
         OptimBench(name="adam_step", mode="full",
                    reference_seconds=0.02, fast_seconds=0.005, speedup=4.0,
                    meta={"parameters": 300}),
+        DataBench(name="dataset_load", mode="full",
+                  reference_seconds=1.2, fast_seconds=0.1, speedup=12.0,
+                  meta={"dataset": "metr-la"}),
+        CacheHit(name="metr-la", scale="ci", key="0123456789abcdef",
+                 path="/tmp/cache/metr-la_ci_0123456789abcdef.npz",
+                 seconds=0.05),
+        CacheMiss(name="metr-la", scale="ci", key="0123456789abcdef"),
+        DatasetBuild(name="metr-la", scale="ci", num_nodes=7,
+                     num_steps=1152, seconds=0.8, cached=True),
     ]
 
 

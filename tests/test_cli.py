@@ -157,3 +157,70 @@ class TestTraceCommands:
         for seed in range(2):
             assert (out_dir / f"linear_pemsd8_seed{seed}.jsonl").exists()
             assert (out_dir / f"linear_pemsd8_seed{seed}.run.json").exists()
+
+
+class TestCacheCommands:
+    @pytest.fixture
+    def cache_dir(self, tmp_path, monkeypatch):
+        directory = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(directory))
+        return directory
+
+    def test_ls_empty(self, capsys, cache_dir):
+        assert main(["cache", "ls"]) == 0
+        assert "cache empty" in capsys.readouterr().out
+
+    def test_ls_lists_entries(self, capsys, cache_dir):
+        from repro.datasets import load_dataset
+        load_dataset("metr-la", scale="ci")
+        assert main(["cache", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "metr-la" in out
+        assert "1 entry" in out
+
+    def test_info_renders_entry(self, capsys, cache_dir):
+        from repro.datasets import DatasetCache, load_dataset
+        load_dataset("pemsd8", scale="ci")
+        (entry,) = DatasetCache().entries()
+        assert main(["cache", "info", entry.key]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["name"] == "pemsd8"
+        assert "speed" in payload["arrays"]
+
+    def test_info_unknown_key(self, capsys, cache_dir):
+        assert main(["cache", "info", "feedfacefeedface"]) == 1
+        assert "no cache entry" in capsys.readouterr().err
+
+    def test_clear_removes_everything(self, capsys, cache_dir):
+        from repro.datasets import DatasetCache, load_dataset
+        load_dataset("metr-la", scale="ci")
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 entry" in capsys.readouterr().out
+        assert DatasetCache().entries() == []
+
+
+class TestBenchDataCommand:
+    def test_bench_data_quick(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out_json = tmp_path / "BENCH_data.json"
+        code = main(["bench", "data", "--mode", "quick",
+                     "--json", str(out_json)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Data pipeline benchmark suite" in out
+        assert "dataset_load" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["suite"] == "data"
+        assert payload["mode"] == "quick"
+        names = {case["name"] for case in payload["timings"]}
+        assert names == {"dataset_load", "window_build", "train_epoch",
+                         "resident_memory"}
+
+    def test_bench_data_single_case(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = main(["bench", "data", "--mode", "quick",
+                     "--case", "window_build"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "window_build" in out
+        assert "dataset_load" not in out

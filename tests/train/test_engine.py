@@ -279,3 +279,93 @@ class TestCheckpointResume:
 def _peek_metadata(path, model):
     from repro.nn.checkpoint import load_checkpoint
     return load_checkpoint(path, model)
+
+
+class TestEmptyEpochGuard:
+    def test_max_batches_zero_rejected_upfront(self, ci_dataset):
+        config = TrainingConfig(epochs=1, max_batches_per_epoch=0)
+        with pytest.raises(ValueError, match="max_batches_per_epoch"):
+            Engine(config).fit(linear(ci_dataset), ci_dataset, seed=0)
+
+    def test_max_batches_negative_rejected(self, ci_dataset):
+        config = TrainingConfig(epochs=1, max_batches_per_epoch=-3)
+        with pytest.raises(ValueError, match="must be >= 1"):
+            Engine(config).fit(linear(ci_dataset), ci_dataset, seed=0)
+
+    def test_tiny_split_with_drop_last_loader_raises(self, ci_dataset):
+        """A split smaller than one batch used to yield NaN epoch losses
+        (np.mean of an empty list); now it fails loudly."""
+        import repro.train.engine as engine_module
+        from repro.datasets import DataLoader
+
+        class DropLastLoader(DataLoader):
+            def __init__(self, split, **kwargs):
+                kwargs["drop_last"] = True
+                super().__init__(split, **kwargs)
+
+        config = TrainingConfig(epochs=1, batch_size=10 ** 6)
+        engine = Engine(config)
+        original = engine_module.DataLoader
+        engine_module.DataLoader = DropLastLoader
+        try:
+            with pytest.raises(RuntimeError,
+                               match="produced no training batches"):
+                engine.fit(linear(ci_dataset), ci_dataset, seed=0)
+        finally:
+            engine_module.DataLoader = original
+
+
+class TestTargetScalingHoist:
+    def test_loader_targets_match_per_batch_transform(self, ci_dataset):
+        """The hoisted target scaling must equal the historical per-batch
+        ``scaler.transform(y)`` bit for bit."""
+        from repro.datasets import DataLoader
+
+        supervised = ci_dataset.supervised
+        loader = DataLoader(supervised.train, batch_size=32, shuffle=True,
+                            seed=0, target_scaler=supervised.scaler)
+        reference = DataLoader(supervised.train, batch_size=32, shuffle=True,
+                               seed=0)
+        for (x, y_scaled, s), (x_ref, y_raw, s_ref) in zip(loader, reference):
+            np.testing.assert_array_equal(x, x_ref)
+            np.testing.assert_array_equal(s, s_ref)
+            np.testing.assert_array_equal(
+                y_scaled, supervised.scaler.transform(y_raw))
+
+    def test_loss_parity_with_per_batch_transform(self, ci_dataset):
+        """Training with hoisted scaling reproduces the legacy loop's
+        losses exactly (same floats into the same loss)."""
+        from repro.datasets import DataLoader
+        from repro.nn.optim import Adam, clip_grad_norm
+
+        supervised = ci_dataset.supervised
+        config = FAST
+
+        engine_model = linear(ci_dataset)
+        engine_history = Engine(config).fit(engine_model, ci_dataset, seed=0)
+
+        legacy_model = linear(ci_dataset)
+        optimizer = Adam(legacy_model.flatten_parameters(),
+                         lr=config.learning_rate,
+                         weight_decay=config.weight_decay)
+        loader = DataLoader(supervised.train, batch_size=config.batch_size,
+                            shuffle=True, seed=0)
+        legacy_losses = []
+        for epoch in range(config.epochs):
+            legacy_model.train()
+            epoch_losses = []
+            for batch_index, (x, y, _) in enumerate(loader):
+                if batch_index >= config.max_batches_per_epoch:
+                    break
+                y_scaled = supervised.scaler.transform(y)   # per batch
+                loss = legacy_model.training_loss(Tensor(x), Tensor(y_scaled))
+                optimizer.zero_grad()
+                loss.backward(free_graph=True)
+                clip_grad_norm(optimizer.arena, config.grad_clip)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            legacy_losses.append(float(np.mean(epoch_losses)))
+        assert engine_history.train_losses == legacy_losses
+        for (name, pa), (_, pb) in zip(engine_model.named_parameters(),
+                                       legacy_model.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data, err_msg=name)
