@@ -34,7 +34,7 @@ EPOCH_SLOWDOWN_CEILING = 2.0
 MEMORY_RATIO_FLOOR = 4.0
 
 
-def test_data_pipeline_speedups(benchmark, data_bench_mode):
+def test_data_pipeline_speedups(benchmark, data_bench_mode, bench_check):
     def run():
         return bench_data(mode=data_bench_mode)
 
@@ -61,3 +61,4 @@ def test_data_pipeline_speedups(benchmark, data_bench_mode):
         assert memory["paper_memory_ratio"] >= MEMORY_RATIO_FLOOR, (
             f"paper-scale memory ratio {memory['paper_memory_ratio']:.2f}x "
             f"< {MEMORY_RATIO_FLOOR}x floor")
+    bench_check("data", timings, data_bench_mode)

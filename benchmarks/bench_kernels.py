@@ -22,7 +22,7 @@ SPEEDUP_FLOORS = {
 }
 
 
-def test_kernel_speedups(benchmark, kernel_bench_mode):
+def test_kernel_speedups(benchmark, kernel_bench_mode, bench_check):
     def run():
         return bench_kernels(mode=kernel_bench_mode)
 
@@ -37,3 +37,4 @@ def test_kernel_speedups(benchmark, kernel_bench_mode):
         for name, floor in SPEEDUP_FLOORS.items():
             assert by_name[name].speedup >= floor, (
                 f"{name}: {by_name[name].speedup:.2f}x < {floor}x floor")
+    bench_check("kernels", timings, kernel_bench_mode)

@@ -29,7 +29,7 @@ SPEEDUP_FLOORS = {
 }
 
 
-def test_optim_speedups(benchmark, optim_bench_mode):
+def test_optim_speedups(benchmark, optim_bench_mode, bench_check):
     def run():
         return bench_optim(mode=optim_bench_mode)
 
@@ -44,3 +44,4 @@ def test_optim_speedups(benchmark, optim_bench_mode):
         for name, floor in SPEEDUP_FLOORS.items():
             assert by_name[name].speedup >= floor, (
                 f"{name}: {by_name[name].speedup:.2f}x < {floor}x floor")
+    bench_check("optim", timings, optim_bench_mode)

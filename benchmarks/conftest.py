@@ -26,6 +26,14 @@ Environment knobs (all optional):
 - ``REPRO_BENCH_DATA``    workload preset for the data-pipeline suite in
   ``bench_data.py`` (default ``full``; same quick/full semantics — the
   cache-hit and memory floors are only asserted in ``full`` mode)
+- ``REPRO_BENCH_OBS``     workload preset for the observability suite in
+  ``bench_obs.py`` (default ``full``; the ≤2% tracing-overhead budget is
+  only asserted in ``full`` mode)
+- ``REPRO_BENCH_CHECK``   when set to ``1``/``true``, every suite above
+  additionally gates its fresh timings against the committed
+  ``BENCH_<suite>.json`` baseline via :func:`repro.obs.check_records`
+  (off by default; only meaningful in ``full`` mode — other modes skip
+  the comparison because workloads differ)
 """
 
 from __future__ import annotations
@@ -46,6 +54,9 @@ BENCH_TRACE = os.environ.get("REPRO_BENCH_TRACE") or None
 BENCH_KERNELS_MODE = os.environ.get("REPRO_BENCH_KERNELS", "full")
 BENCH_OPTIM_MODE = os.environ.get("REPRO_BENCH_OPTIM", "full")
 BENCH_DATA_MODE = os.environ.get("REPRO_BENCH_DATA", "full")
+BENCH_OBS_MODE = os.environ.get("REPRO_BENCH_OBS", "full")
+BENCH_CHECK = os.environ.get("REPRO_BENCH_CHECK", "").lower() in (
+    "1", "true", "yes", "on")
 
 BENCH_CONFIG = TrainingConfig(epochs=BENCH_EPOCHS, batch_size=32,
                               max_batches_per_epoch=BENCH_BATCHES,
@@ -93,3 +104,50 @@ def data_bench_mode():
             f"REPRO_BENCH_DATA={BENCH_DATA_MODE!r} is not a known "
             f"mode; expected one of {sorted(DATA_BENCH_MODES)}")
     return BENCH_DATA_MODE
+
+
+@pytest.fixture(scope="session")
+def obs_bench_mode():
+    """Workload preset for the observability suite (``REPRO_BENCH_OBS``)."""
+    from repro.obs.obs_bench import OBS_BENCH_MODES
+
+    if BENCH_OBS_MODE not in OBS_BENCH_MODES:
+        raise ValueError(
+            f"REPRO_BENCH_OBS={BENCH_OBS_MODE!r} is not a known "
+            f"mode; expected one of {sorted(OBS_BENCH_MODES)}")
+    return BENCH_OBS_MODE
+
+
+@pytest.fixture(scope="session")
+def bench_check():
+    """Gate fresh suite timings against the committed baseline.
+
+    Returns ``check(suite, timings, mode)``; when ``REPRO_BENCH_CHECK``
+    is on and ``BENCH_<suite>.json`` exists at the repo root, the fresh
+    timings are compared via :func:`repro.obs.check_records` and the
+    test fails on any regression (mode mismatches are reported as
+    skipped, never failed).  A no-op when the knob is off.
+    """
+    from pathlib import Path
+
+    from repro.nn.kernel_bench import timings_to_record
+    from repro.obs.gate import check_records, load_bench_record
+
+    root = Path(__file__).resolve().parent.parent
+
+    def check(suite, timings, mode):
+        if not BENCH_CHECK:
+            return None
+        baseline_path = root / f"BENCH_{suite}.json"
+        if not baseline_path.exists():
+            return None
+        current = timings_to_record(timings, mode, suite=suite)
+        report = check_records(current, load_bench_record(baseline_path))
+        print()
+        print(report.render())
+        assert report.passed, (
+            f"bench check failed against {baseline_path.name}: "
+            + "; ".join(f.detail or f.status for f in report.failures))
+        return report
+
+    return check

@@ -9,13 +9,18 @@ Commands
 - ``simulate`` — generate a dataset and save it as ``.npz``
 - ``report``   — render tables from a saved results JSON
 - ``profile``  — op census of one model's forward+backward pass
-- ``trace``    — summarize a JSONL telemetry trace (``trace summarize``)
+- ``trace``    — inspect a JSONL telemetry trace: ``trace summarize``
+  renders paper-style tables, ``trace spans`` the per-label
+  self-time/total-time span table, and ``trace export --format chrome``
+  a Chrome-tracing/Perfetto-loadable timeline
 - ``bench``    — engine benchmarks (``bench kernels`` times the hot
   kernels against the reference ``np.add.at`` paths; ``bench optim``
   times the fused arena optimizer updates against the per-parameter
   reference loop; ``bench data`` times the lazy window pipeline and the
-  dataset cache against eager builds and cold loads; ``--json`` records
-  ``BENCH_kernels.json`` / ``BENCH_optim.json`` / ``BENCH_data.json``)
+  dataset cache against eager builds and cold loads; ``bench obs``
+  times the tracing layer itself; ``--json`` records the matching
+  ``BENCH_<suite>.json``; ``bench check`` re-runs suites and exits
+  non-zero when a committed baseline's speedup regressed)
 - ``cache``    — inspect the content-addressed dataset cache
   (``cache ls`` / ``cache info <key>`` / ``cache clear``; see
   docs/data.md)
@@ -108,6 +113,19 @@ def build_parser() -> argparse.ArgumentParser:
     trace_summarize = trace_sub.add_parser(
         "summarize", help="render a trace as paper-style tables")
     trace_summarize.add_argument("path", help="JSONL trace file")
+    trace_export = trace_sub.add_parser(
+        "export", help="export a trace as a viewer-loadable timeline")
+    trace_export.add_argument("path", help="JSONL trace file")
+    trace_export.add_argument("--format", default="chrome",
+                              choices=("chrome",),
+                              help="timeline format (chrome = Chrome "
+                                   "tracing JSON, loads in Perfetto)")
+    trace_export.add_argument("--output", metavar="PATH",
+                              help="output file (default: "
+                                   "<trace>.chrome.json)")
+    trace_spans = trace_sub.add_parser(
+        "spans", help="per-label self-time/total-time span table")
+    trace_spans.add_argument("path", help="JSONL trace file")
 
     bench = sub.add_parser(
         "bench", help="engine benchmarks (reference vs fast kernels)")
@@ -147,6 +165,37 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write results JSON (BENCH_data.json)")
     bench_data.add_argument("--trace", metavar="PATH",
                             help="record data_bench events as JSONL")
+    bench_obs = bench_sub.add_parser(
+        "obs", help="time the observability layer itself (span overhead, "
+                    "metrics registry)")
+    bench_obs.add_argument("--mode", default="full",
+                           choices=("quick", "full"),
+                           help="workload preset (quick for smoke runs)")
+    bench_obs.add_argument("--case", nargs="+", metavar="NAME",
+                           help="restrict to specific benchmark cases")
+    bench_obs.add_argument("--json", metavar="PATH",
+                           help="write results JSON (BENCH_obs.json)")
+    bench_obs.add_argument("--trace", metavar="PATH",
+                           help="record obs_bench events as JSONL")
+    bench_check = bench_sub.add_parser(
+        "check", help="gate bench results against the committed "
+                      "BENCH_*.json baselines (exit 1 on regression)")
+    bench_check.add_argument("--suite", nargs="+", metavar="NAME",
+                             choices=("kernels", "optim", "data", "obs"),
+                             help="suites to check (default: every suite "
+                                  "with a baseline under --root)")
+    bench_check.add_argument("--root", default=".",
+                             help="directory holding the BENCH_*.json "
+                                  "baselines (default: current directory)")
+    bench_check.add_argument("--tolerance", type=float, default=None,
+                             help="allowed relative speedup decay "
+                                  "(default: 0.25)")
+    bench_check.add_argument("--current", metavar="PATH",
+                             help="compare this saved record instead of "
+                                  "re-running the suite")
+    bench_check.add_argument("--baseline", metavar="PATH",
+                             help="baseline record to compare --current "
+                                  "against")
 
     cache = sub.add_parser(
         "cache", help="inspect the content-addressed dataset cache")
@@ -184,7 +233,6 @@ def _cmd_models() -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from .obs import EventBus, JSONLSink
 
-    data = load_dataset(args.dataset, scale=args.scale)
     config = TrainingConfig(epochs=args.epochs, batch_size=args.batch_size,
                             learning_rate=args.lr, verbose=not args.quiet)
     bus = None
@@ -193,6 +241,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace_path = Path(args.trace)
         bus = EventBus([JSONLSink(trace_path)])
         manifest_path = str(trace_path.parent / "run.json")
+    data = load_dataset(args.dataset, scale=args.scale, bus=bus)
     print(f"Training {args.model} on {args.dataset} "
           f"({data.num_nodes} nodes, scale={args.scale}) ...")
     try:
@@ -319,12 +368,57 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from .obs.gate import (DEFAULT_TOLERANCE, check_records, find_baselines,
+                           load_bench_record, run_and_check)
+
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else DEFAULT_TOLERANCE)
+    if (args.current is None) != (args.baseline is None):
+        print("bench check: --current and --baseline go together",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.current is not None:
+            report = check_records(load_bench_record(args.current),
+                                   load_bench_record(args.baseline),
+                                   tolerance=tolerance)
+            print(report.render())
+            return 0 if report.passed else 1
+        baselines = find_baselines(args.root)
+        if args.suite:
+            missing = sorted(set(args.suite) - set(baselines))
+            if missing:
+                print(f"bench check: no baseline for suite(s) {missing} "
+                      f"under {args.root}", file=sys.stderr)
+                return 2
+            baselines = {s: baselines[s] for s in args.suite}
+        if not baselines:
+            print(f"bench check: no BENCH_*.json baselines under "
+                  f"{args.root}", file=sys.stderr)
+            return 2
+        passed = True
+        for suite, path in baselines.items():
+            report = run_and_check(suite, path, tolerance=tolerance)
+            print(report.render())
+            print()
+            passed = passed and report.passed
+        return 0 if passed else 1
+    except ValueError as exc:
+        print(f"bench check: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.bench_command == "check":
+        return _cmd_bench_check(args)
+
     from .datasets.data_bench import bench_data
     from .nn.kernel_bench import (bench_kernels, render_timings,
                                   write_bench_json)
     from .nn.optim_bench import bench_optim
     from .obs import ConsoleSink, EventBus, JSONLSink
+    from .obs.obs_bench import bench_obs
 
     if args.bench_command == "kernels":
         suite, event_kind, run = "kernels", "kernel_bench", bench_kernels
@@ -338,6 +432,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         suite, event_kind, run = "data", "data_bench", bench_data
         banner = (f"Data pipeline benchmark suite (mode={args.mode}) — "
                   f"eager windows / cold loads vs lazy gathers / cache hits")
+    elif args.bench_command == "obs":
+        suite, event_kind, run = "obs", "obs_bench", bench_obs
+        banner = (f"Observability benchmark suite (mode={args.mode}) — "
+                  f"untraced vs traced-but-unobserved instrumentation")
     else:
         return 1
     sinks = [ConsoleSink(kinds=(event_kind,))]
@@ -347,6 +445,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(banner + "\n")
     try:
         timings = run(mode=args.mode, bus=bus, cases=args.case)
+    except ValueError as error:           # unknown mode/case
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     finally:
         bus.close()
     print()
@@ -405,17 +506,35 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs import summarize_trace, validate_trace
 
+    try:
+        problems = validate_trace(args.path)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    # Unknown kinds degrade gracefully (the reader skips those lines, so
+    # a newer trace still renders here); anything else is a broken file.
+    hard = [p for p in problems if "unknown event kind" not in p]
+    if hard:
+        for problem in hard:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 1
+    for problem in problems:
+        print(f"trace warning: {problem} (line skipped)", file=sys.stderr)
+
     if args.trace_command == "summarize":
-        try:
-            problems = validate_trace(args.path)
-        except OSError as exc:
-            print(f"cannot read trace: {exc}", file=sys.stderr)
-            return 1
-        if problems:
-            for problem in problems:
-                print(f"invalid trace: {problem}", file=sys.stderr)
-            return 1
         print(summarize_trace(args.path))
+        return 0
+    if args.trace_command == "spans":
+        from .obs import span_report
+        print(span_report(args.path))
+        return 0
+    if args.trace_command == "export":
+        from .obs import write_chrome_trace
+        output = args.output or f"{args.path}.chrome.json"
+        payload = write_chrome_trace(args.path, output)
+        print(f"Chrome trace written to {output} "
+              f"({len(payload['traceEvents'])} events; load at "
+              f"https://ui.perfetto.dev)")
         return 0
     return 1
 

@@ -35,7 +35,8 @@ from ..models.base import TrafficModel, create_model
 from ..nn import no_grad
 from ..nn.tensor import Tensor
 from ..obs.events import (EvalDone, EventBus, RunFinished, RunStarted,
-                          get_bus)
+                          bus_scope, get_bus)
+from ..obs.spans import span
 from .intervals import difficult_mask, prediction_mask
 from .metrics import HorizonMetrics, evaluate_horizons
 
@@ -143,7 +144,8 @@ def predict(model: TrafficModel, split: SupervisedSplit, scaler,
     loader = DataLoader(split, batch_size=batch_size, shuffle=False)
     outputs = []
     start = time.perf_counter()
-    with no_grad():
+    with span("eval/predict", samples=split.num_samples,
+              batch_size=batch_size), no_grad():
         for x, _, _ in loader:
             outputs.append(model(Tensor(x)).numpy())
     elapsed = time.perf_counter() - start
@@ -195,39 +197,43 @@ def run_experiment(model_name: str, dataset: LoadedDataset,
     config = engine.config
     bus = bus if bus is not None else get_bus()
     start = time.perf_counter()
-    model = create_model(model_name, dataset.num_nodes, dataset.adjacency,
-                         history=dataset.supervised.config.history,
-                         horizon=dataset.supervised.config.horizon,
-                         in_features=dataset.supervised.train.num_features,
-                         seed=seed, **model_hparams)
-    bus.emit(RunStarted(model=model_name, dataset=dataset.spec.name,
-                        seed=seed, num_parameters=model.num_parameters(),
-                        config=asdict(config)))
-    history = engine.fit(model, dataset, seed=seed, bus=bus)
-    evaluation = evaluate_model(model, dataset,
-                                eval_batch_size=config.eval_batch_size)
-    bus.emit(EvalDone(
-        inference_seconds=evaluation.inference_seconds,
-        num_parameters=evaluation.num_parameters,
-        full={str(m): h.as_dict() for m, h in evaluation.full.items()},
-        difficult={str(m): h.as_dict()
-                   for m, h in evaluation.difficult.items()}))
-    wall_seconds = time.perf_counter() - start
-    best_val = (history.val_maes[history.best_epoch]
-                if history.val_maes else float("nan"))
-    bus.emit(RunFinished(model=model_name, dataset=dataset.spec.name,
-                         seed=seed, wall_seconds=wall_seconds,
-                         best_epoch=history.best_epoch,
-                         best_val_mae=best_val))
-    if manifest_path is not None:
-        from ..obs.manifest import build_manifest, write_manifest
-        manifest = build_manifest(
-            model=model_name, dataset=dataset.spec.name, seed=seed,
-            config=config, num_parameters=evaluation.num_parameters,
-            wall_seconds=wall_seconds, best_epoch=history.best_epoch,
-            best_val_mae=None if np.isnan(best_val) else float(best_val),
-            test_mae_15=float(evaluation.full[15].mae)
-            if 15 in evaluation.full else None)
-        write_manifest(manifest_path, manifest)
+    with bus_scope(bus), span("experiment/run", bus=bus, model=model_name,
+                              dataset=dataset.spec.name, seed=seed):
+        model = create_model(model_name, dataset.num_nodes,
+                             dataset.adjacency,
+                             history=dataset.supervised.config.history,
+                             horizon=dataset.supervised.config.horizon,
+                             in_features=dataset.supervised.train.num_features,
+                             seed=seed, **model_hparams)
+        bus.emit(RunStarted(model=model_name, dataset=dataset.spec.name,
+                            seed=seed, num_parameters=model.num_parameters(),
+                            config=asdict(config)))
+        history = engine.fit(model, dataset, seed=seed, bus=bus)
+        with span("experiment/evaluate", bus=bus):
+            evaluation = evaluate_model(
+                model, dataset, eval_batch_size=config.eval_batch_size)
+        bus.emit(EvalDone(
+            inference_seconds=evaluation.inference_seconds,
+            num_parameters=evaluation.num_parameters,
+            full={str(m): h.as_dict() for m, h in evaluation.full.items()},
+            difficult={str(m): h.as_dict()
+                       for m, h in evaluation.difficult.items()}))
+        wall_seconds = time.perf_counter() - start
+        best_val = (history.val_maes[history.best_epoch]
+                    if history.val_maes else float("nan"))
+        bus.emit(RunFinished(model=model_name, dataset=dataset.spec.name,
+                             seed=seed, wall_seconds=wall_seconds,
+                             best_epoch=history.best_epoch,
+                             best_val_mae=best_val))
+        if manifest_path is not None:
+            from ..obs.manifest import build_manifest, write_manifest
+            manifest = build_manifest(
+                model=model_name, dataset=dataset.spec.name, seed=seed,
+                config=config, num_parameters=evaluation.num_parameters,
+                wall_seconds=wall_seconds, best_epoch=history.best_epoch,
+                best_val_mae=None if np.isnan(best_val) else float(best_val),
+                test_mae_15=float(evaluation.full[15].mae)
+                if 15 in evaluation.full else None)
+            write_manifest(manifest_path, manifest)
     return RunResult(model_name=model_name, dataset_name=dataset.spec.name,
                      seed=seed, history=history, evaluation=evaluation)

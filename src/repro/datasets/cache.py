@@ -122,32 +122,41 @@ class DatasetCache:
         truncated disk) is deleted and treated as a miss rather than
         propagating a load error into the caller.
         """
+        from ..obs.spans import span
         from .io import load_saved_dataset
 
-        path = self.path_for(name, scale, key)
-        if not path.exists():
-            return None
-        try:
-            return load_saved_dataset(path)
-        except Exception:
-            path.unlink(missing_ok=True)
-            return None
+        with span("data/cache_get", dataset=name, key=key) as sp:
+            path = self.path_for(name, scale, key)
+            if not path.exists():
+                sp.set(hit=False)
+                return None
+            try:
+                result = load_saved_dataset(path)
+            except Exception:
+                path.unlink(missing_ok=True)
+                sp.set(hit=False, corrupt=True)
+                return None
+            sp.set(hit=True)
+            return result
 
     def put(self, dataset, key: str) -> Path:
         """Persist ``dataset`` under ``key`` atomically; returns the path."""
+        from ..obs.spans import span
         from .io import save_dataset
 
-        path = self.path_for(dataset.spec.name, dataset.scale, key)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        # The suffix must be ``.npz`` — np.savez appends one otherwise and
-        # the rename would promote an empty placeholder file.
-        handle, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".npz")
-        os.close(handle)
-        try:
-            save_dataset(dataset, tmp_name)
-            os.replace(tmp_name, path)
-        finally:
-            Path(tmp_name).unlink(missing_ok=True)
+        with span("data/cache_put", dataset=dataset.spec.name, key=key):
+            path = self.path_for(dataset.spec.name, dataset.scale, key)
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # The suffix must be ``.npz`` — np.savez appends one otherwise
+            # and the rename would promote an empty placeholder file.
+            handle, tmp_name = tempfile.mkstemp(dir=self.directory,
+                                                suffix=".npz")
+            os.close(handle)
+            try:
+                save_dataset(dataset, tmp_name)
+                os.replace(tmp_name, path)
+            finally:
+                Path(tmp_name).unlink(missing_ok=True)
         return path
 
     def entries(self) -> list[CacheEntry]:

@@ -23,7 +23,9 @@ import numpy as np
 
 from ..graph.adjacency import gaussian_adjacency
 from ..graph.road_network import RoadNetwork, build_network
-from ..obs.events import CacheHit, CacheMiss, DatasetBuild, get_bus
+from ..obs.events import CacheHit, CacheMiss, DatasetBuild, EventBus, get_bus
+from ..obs.spans import span
+from ..obs.stats import get_registry
 from .cache import DatasetCache, cache_enabled, dataset_cache_key
 from .generator import SimulationConfig, SimulationResult, TrafficSimulator
 from .windows import SupervisedDataset, WindowConfig, make_windows
@@ -138,7 +140,8 @@ def _scaled_size(spec: DatasetSpec, scale: str) -> tuple[int, int]:
 def load_dataset(name: str, scale: str = "ci",
                  window: WindowConfig | None = None,
                  seed_offset: int = 0,
-                 cache: bool | None = None) -> LoadedDataset:
+                 cache: bool | None = None,
+                 bus: "EventBus | None" = None) -> LoadedDataset:
     """Build a named dataset at the requested scale.
 
     Parameters
@@ -155,6 +158,9 @@ def load_dataset(name: str, scale: str = "ci",
         :mod:`repro.datasets.cache`).  ``None`` follows the
         ``REPRO_DATA_CACHE`` environment default (on); ``False`` forces a
         fresh build, ``True`` forces cache use.
+    bus:
+        Event bus for cache/build telemetry and ``data/load`` spans
+        (the ambient bus when None).
     """
     spec_key = name.lower().replace("_", "-")
     if spec_key not in DATASETS:
@@ -168,52 +174,62 @@ def load_dataset(name: str, scale: str = "ci",
     window = window or WindowConfig()
 
     use_cache = cache_enabled() if cache is None else bool(cache)
-    bus = get_bus()
-    store = DatasetCache() if use_cache else None
-    cache_key = dataset_cache_key(spec, sim_config, window, seed_offset,
-                                  scale)
-    if store is not None:
-        start = time.perf_counter()
-        cached = store.get(spec.name, scale, cache_key)
-        if cached is not None:
-            bus.emit(CacheHit(name=spec.name, scale=scale, key=cache_key,
-                              path=str(store.path_for(spec.name, scale,
-                                                      cache_key)),
-                              seconds=time.perf_counter() - start))
-            return cached
-        bus.emit(CacheMiss(name=spec.name, scale=scale, key=cache_key))
+    bus = bus if bus is not None else get_bus()
+    registry = get_registry()
+    with span("data/load", bus=bus, dataset=spec.name, scale=scale) as sp:
+        store = DatasetCache() if use_cache else None
+        cache_key = dataset_cache_key(spec, sim_config, window, seed_offset,
+                                      scale)
+        if store is not None:
+            start = time.perf_counter()
+            cached = store.get(spec.name, scale, cache_key)
+            if cached is not None:
+                registry.counter("data/cache_hits").inc()
+                sp.set(cache="hit")
+                bus.emit(CacheHit(name=spec.name, scale=scale, key=cache_key,
+                                  path=str(store.path_for(spec.name, scale,
+                                                          cache_key)),
+                                  seconds=time.perf_counter() - start))
+                return cached
+            registry.counter("data/cache_misses").inc()
+            sp.set(cache="miss")
+            bus.emit(CacheMiss(name=spec.name, scale=scale, key=cache_key))
 
-    build_start = time.perf_counter()
-    network = build_network(num_nodes, topology=spec.topology,
-                            seed=spec.sim_seed + seed_offset)
-    simulation = TrafficSimulator(network, sim_config,
-                                  seed=spec.sim_seed + seed_offset).run()
+        build_start = time.perf_counter()
+        with span("data/build", bus=bus, dataset=spec.name, scale=scale):
+            network = build_network(num_nodes, topology=spec.topology,
+                                    seed=spec.sim_seed + seed_offset)
+            simulation = TrafficSimulator(network, sim_config,
+                                          seed=spec.sim_seed
+                                          + seed_offset).run()
 
-    if spec.weekdays_only:
-        weekday = simulation.day_of_week < 5
-        simulation = replace(
-            simulation,
-            density=simulation.density[weekday],
-            speed=simulation.speed[weekday],
-            flow=simulation.flow[weekday],
-            timestamps=simulation.timestamps[weekday],
-            time_of_day=simulation.time_of_day[weekday],
-            day_of_week=simulation.day_of_week[weekday],
-            missing_mask=simulation.missing_mask[weekday])
+            if spec.weekdays_only:
+                weekday = simulation.day_of_week < 5
+                simulation = replace(
+                    simulation,
+                    density=simulation.density[weekday],
+                    speed=simulation.speed[weekday],
+                    flow=simulation.flow[weekday],
+                    timestamps=simulation.timestamps[weekday],
+                    time_of_day=simulation.time_of_day[weekday],
+                    day_of_week=simulation.day_of_week[weekday],
+                    missing_mask=simulation.missing_mask[weekday])
 
-    values = simulation.speed if spec.task == "speed" else simulation.flow
-    supervised = make_windows(values, simulation.time_of_day, window,
-                              day_of_week=simulation.day_of_week)
-    adjacency = gaussian_adjacency(network)
+            values = (simulation.speed if spec.task == "speed"
+                      else simulation.flow)
+            supervised = make_windows(values, simulation.time_of_day, window,
+                                      day_of_week=simulation.day_of_week)
+            adjacency = gaussian_adjacency(network)
 
-    dataset = LoadedDataset(spec=spec, scale=scale, network=network,
-                            adjacency=adjacency, simulation=simulation,
-                            supervised=supervised)
-    if store is not None:
-        store.put(dataset, cache_key)
-    bus.emit(DatasetBuild(name=spec.name, scale=scale,
-                          num_nodes=dataset.num_nodes,
-                          num_steps=len(simulation.time_of_day),
-                          seconds=time.perf_counter() - build_start,
-                          cached=store is not None))
+            dataset = LoadedDataset(spec=spec, scale=scale, network=network,
+                                    adjacency=adjacency,
+                                    simulation=simulation,
+                                    supervised=supervised)
+        if store is not None:
+            store.put(dataset, cache_key)
+        bus.emit(DatasetBuild(name=spec.name, scale=scale,
+                              num_nodes=dataset.num_nodes,
+                              num_steps=len(simulation.time_of_day),
+                              seconds=time.perf_counter() - build_start,
+                              cached=store is not None))
     return dataset

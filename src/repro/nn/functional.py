@@ -14,7 +14,11 @@ from typing import Sequence
 import numpy as np
 
 from . import kernels as _kernels
+# Imported after .tensor so the obs package (whose metrics module pulls in
+# the profiler, and with it the tensor module) never re-enters a partially
+# initialised import; kernels.py itself stays obs-free for the same reason.
 from .tensor import Tensor, is_grad_enabled, unbroadcast
+from ..obs.spans import span
 
 __all__ = [
     "relu", "leaky_relu", "sigmoid", "tanh", "softmax", "log_softmax", "gelu",
@@ -272,34 +276,36 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     if c_in != c_in_w:
         raise ValueError(f"conv2d channel mismatch: input {c_in} vs weight {c_in_w}")
 
-    rows, cols, out_h, out_w = _kernels.col_indices(
-        height, width, (kh, kw), stride, dilation)
-    patches = x.data[:, :, rows, cols]                      # (B, C, K, L)
-    cols_mat = patches.reshape(batch, c_in * kh * kw, -1)   # (B, CK, L)
-    w_mat = weight.data.reshape(c_out, -1)                  # (Cout, CK)
-    out_data = _kernels.conv_forward_contract(w_mat, cols_mat)
-    if bias is not None:
-        out_data = out_data + bias.data[None, :, None]
-    out_data = out_data.reshape(batch, c_out, out_h, out_w)
+    with span("kernel/conv2d", batch=batch, kernel=(kh, kw)):
+        rows, cols, out_h, out_w = _kernels.col_indices(
+            height, width, (kh, kw), stride, dilation)
+        patches = x.data[:, :, rows, cols]                    # (B, C, K, L)
+        cols_mat = patches.reshape(batch, c_in * kh * kw, -1)  # (B, CK, L)
+        w_mat = weight.data.reshape(c_out, -1)                # (Cout, CK)
+        out_data = _kernels.conv_forward_contract(w_mat, cols_mat)
+        if bias is not None:
+            out_data = out_data + bias.data[None, :, None]
+        out_data = out_data.reshape(batch, c_out, out_h, out_w)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(g: np.ndarray) -> None:
-        g_mat = g.reshape(batch, c_out, -1)                  # (B, Cout, L)
-        # weight grad
-        gw = _kernels.conv_weight_grad_contract(g_mat, cols_mat)
-        weight._accumulate(gw.reshape(weight.shape))
-        if bias is not None:
-            bias._accumulate(g_mat.sum(axis=(0, 2)))
-        # input grad: scatter columns back
-        g_cols = _kernels.conv_col_grad_contract(w_mat, g_mat)  # (B, CK, L)
-        g_cols = g_cols.reshape(batch, c_in, kh * kw, -1)
-        col2im = (_kernels.col2im_reference
-                  if _kernels.reference_kernels_enabled()
-                  else _kernels.col2im)
-        gx = col2im(g_cols, (batch, c_in, height, width), (kh, kw),
-                    stride, dilation)
-        x._accumulate(gx)
+        with span("kernel/conv2d_backward", batch=batch, kernel=(kh, kw)):
+            g_mat = g.reshape(batch, c_out, -1)              # (B, Cout, L)
+            # weight grad
+            gw = _kernels.conv_weight_grad_contract(g_mat, cols_mat)
+            weight._accumulate(gw.reshape(weight.shape))
+            if bias is not None:
+                bias._accumulate(g_mat.sum(axis=(0, 2)))
+            # input grad: scatter columns back
+            g_cols = _kernels.conv_col_grad_contract(w_mat, g_mat)
+            g_cols = g_cols.reshape(batch, c_in, kh * kw, -1)
+            col2im = (_kernels.col2im_reference
+                      if _kernels.reference_kernels_enabled()
+                      else _kernels.col2im)
+            gx = col2im(g_cols, (batch, c_in, height, width), (kh, kw),
+                        stride, dilation)
+            x._accumulate(gx)
 
     return Tensor._make(out_data, parents, backward, "conv2d")
 

@@ -27,6 +27,7 @@ import contextlib
 import json
 import sys
 import time
+import warnings
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Any, Callable, ClassVar, Iterable, TextIO
@@ -34,8 +35,8 @@ from typing import Any, Callable, ClassVar, Iterable, TextIO
 __all__ = [
     "Event", "RunStarted", "BatchEnd", "EpochEnd", "EvalDone",
     "CheckpointSaved", "RunFinished", "ProfileSnapshot", "KernelBench",
-    "GradClip", "OptimBench", "DataBench",
-    "CacheHit", "CacheMiss", "DatasetBuild",
+    "GradClip", "OptimBench", "DataBench", "ObsBench",
+    "CacheHit", "CacheMiss", "DatasetBuild", "SpanEvent", "MetricsSnapshot",
     "EVENT_KINDS", "event_to_record", "event_from_record",
     "EventBus", "ConsoleSink", "JSONLSink", "MemorySink",
     "get_bus", "bus_scope",
@@ -245,11 +246,70 @@ class DatasetBuild(Event):
     cached: bool = False       # True when the build was written to the cache
 
 
+@dataclass
+class ObsBench(Event):
+    """One observability benchmark case: untraced vs traced timings.
+
+    Emitted by :mod:`repro.obs.obs_bench` for every case; ``meta`` carries
+    the measured tracing overhead (``overhead_pct``) so the regression
+    gate can hold instrumentation to its ≤2% budget.
+    """
+
+    kind: ClassVar[str] = "obs_bench"
+    name: str = ""
+    mode: str = "quick"
+    reference_seconds: float = 0.0
+    fast_seconds: float = 0.0
+    speedup: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class SpanEvent(Event):
+    """One completed span from :func:`repro.obs.spans.span`.
+
+    Emitted when the span closes, so a trace lists children before their
+    parents (innermost-first).  ``parent_id`` is empty for roots,
+    ``t_start`` is the unix wall-clock open time, ``seconds`` the
+    monotonic-clock duration, and ``attrs`` whatever the caller attached
+    (batch size, dataset name, ...).  ``status`` is ``"ok"`` or
+    ``"error"`` (with ``error`` holding the exception summary).
+    """
+
+    kind: ClassVar[str] = "span"
+    label: str = ""
+    span_id: str = ""
+    parent_id: str = ""
+    t_start: float = 0.0
+    seconds: float = 0.0
+    status: str = "ok"
+    error: str = ""
+    depth: int = 0
+    thread: int = 0
+    attrs: dict = field(default_factory=dict)
+
+
+@dataclass
+class MetricsSnapshot(Event):
+    """A point-in-time dump of a :class:`repro.obs.stats.MetricsRegistry`.
+
+    ``counters``/``gauges`` map metric name to value; ``histograms`` maps
+    name to ``{"buckets": [...], "counts": [...], "count": n, "sum": s}``.
+    """
+
+    kind: ClassVar[str] = "metrics"
+    label: str = ""
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+
+
 EVENT_KINDS: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (RunStarted, BatchEnd, EpochEnd, EvalDone, CheckpointSaved,
                 RunFinished, ProfileSnapshot, KernelBench, GradClip,
-                OptimBench, DataBench, CacheHit, CacheMiss, DatasetBuild)
+                OptimBench, DataBench, ObsBench, CacheHit, CacheMiss,
+                DatasetBuild, SpanEvent, MetricsSnapshot)
 }
 
 
@@ -314,7 +374,16 @@ class ConsoleSink:
             return (f"[profile] {event.label}: {event.total_nodes} nodes, "
                     f"{event.total_elements:,} elements "
                     f"({event.wall_seconds:.4f}s)")
-        if isinstance(event, (KernelBench, OptimBench, DataBench)):
+        if isinstance(event, SpanEvent):
+            mark = "" if event.status == "ok" else f" ERROR {event.error}"
+            return (f"{'  ' * event.depth}[span] {event.label} "
+                    f"({event.seconds * 1e3:.2f}ms){mark}")
+        if isinstance(event, MetricsSnapshot):
+            return (f"[metrics] {event.label or 'snapshot'}: "
+                    f"{len(event.counters)} counters, "
+                    f"{len(event.gauges)} gauges, "
+                    f"{len(event.histograms)} histograms")
+        if isinstance(event, (KernelBench, OptimBench, DataBench, ObsBench)):
             return (f"[bench] {event.name}: reference "
                     f"{event.reference_seconds * 1e3:.2f}ms -> "
                     f"{event.fast_seconds * 1e3:.2f}ms "
@@ -401,15 +470,25 @@ class EventBus:
 
     A sink is any callable taking one :class:`Event`.  Emitting on a bus
     with no sinks is a no-op, so instrumented code costs nothing when
-    nobody is listening.
+    nobody is listening.  A sink that raises does not abort the emitting
+    code or starve later sinks: the exception is caught, a
+    :class:`RuntimeWarning` is issued once per sink, and delivery
+    continues.
     """
 
     def __init__(self, sinks: Iterable[Callable[[Event], None]] = ()):
         self._sinks: list[Callable[[Event], None]] = list(sinks)
+        self._warned: set[int] = set()
 
     @property
     def sinks(self) -> tuple[Callable[[Event], None], ...]:
         return tuple(self._sinks)
+
+    @property
+    def has_sinks(self) -> bool:
+        """True when at least one sink is attached (spans check this to
+        skip all bookkeeping on an unobserved bus)."""
+        return bool(self._sinks)
 
     def attach(self, sink: Callable[[Event], None]) -> Callable[[Event], None]:
         """Subscribe ``sink``; returns it for chaining."""
@@ -422,9 +501,23 @@ class EventBus:
             self._sinks.remove(sink)
 
     def emit(self, event: Event) -> None:
-        """Deliver ``event`` to every sink in attachment order."""
+        """Deliver ``event`` to every sink in attachment order.
+
+        Sink failures are isolated: the first exception from each sink
+        produces one :class:`RuntimeWarning`; later failures from the
+        same sink are swallowed silently, and other sinks always still
+        receive the event.
+        """
         for sink in self._sinks:
-            sink(event)
+            try:
+                sink(event)
+            except Exception as exc:
+                if id(sink) not in self._warned:
+                    self._warned.add(id(sink))
+                    warnings.warn(
+                        f"telemetry sink {sink!r} raised {exc!r} on a "
+                        f"{event.kind!r} event; suppressing further errors "
+                        f"from this sink", RuntimeWarning, stacklevel=2)
 
     @contextlib.contextmanager
     def scoped(self, *sinks: Callable[[Event], None]):

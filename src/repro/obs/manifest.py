@@ -20,13 +20,26 @@ from typing import Any
 import numpy as np
 
 __all__ = ["MANIFEST_SCHEMA_VERSION", "RunManifest", "build_manifest",
-           "write_manifest", "read_manifest", "peak_rss_kb"]
+           "write_manifest", "read_manifest", "peak_rss_kb",
+           "normalize_ru_maxrss"]
 
 MANIFEST_SCHEMA_VERSION = 1
 
 # Fields a manifest must always carry (checked by tests and readers).
 REQUIRED_FIELDS = ("schema_version", "model", "dataset", "seed", "config",
                    "num_parameters", "wall_seconds", "repro_version")
+
+
+def normalize_ru_maxrss(raw: float, system: str | None = None) -> int:
+    """Normalise a raw ``ru_maxrss`` reading to KiB.
+
+    POSIX leaves the unit unspecified and platforms disagree: Linux (and
+    most BSDs) report KiB, macOS reports bytes.  ``system`` defaults to
+    :func:`platform.system`; pass it explicitly to test either path.
+    """
+    system = system if system is not None else platform.system()
+    raw = int(raw)
+    return raw // 1024 if system == "Darwin" else raw
 
 
 def peak_rss_kb() -> int | None:
@@ -36,11 +49,8 @@ def peak_rss_kb() -> int | None:
         import resource
     except ImportError:                                # pragma: no cover
         return None
-    # ru_maxrss is KiB on Linux, bytes on macOS — normalise to KiB.
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if platform.system() == "Darwin":                  # pragma: no cover
-        peak //= 1024
-    return int(peak)
+    return normalize_ru_maxrss(peak)
 
 
 @dataclass

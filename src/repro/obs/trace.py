@@ -20,8 +20,17 @@ __all__ = ["read_trace", "validate_record", "validate_trace",
            "summarize_trace"]
 
 
-def read_trace(path: str | Path) -> list[Event]:
-    """Parse a JSONL trace into typed events (blank lines are skipped)."""
+def read_trace(path: str | Path, *, strict: bool = False,
+               problems: list[str] | None = None) -> list[Event]:
+    """Parse a JSONL trace into typed events (blank lines are skipped).
+
+    Lines whose ``event`` kind this checkout does not know are *skipped*
+    by default — a trace written by a newer version still reads, minus
+    the foreign events — with a note appended to ``problems`` when a
+    list is supplied.  ``strict=True`` restores the hard error.
+    Malformed JSON is always an error: that is a broken file, not a
+    version gap.
+    """
     events = []
     for line_no, line in enumerate(
             Path(path).read_text(encoding="utf-8").splitlines(), start=1):
@@ -32,6 +41,16 @@ def read_trace(path: str | Path) -> list[Event]:
         except json.JSONDecodeError as error:
             raise ValueError(f"{path}:{line_no}: not valid JSON "
                              f"({error})") from error
+        if record.get("event") not in EVENT_KINDS:
+            if strict:
+                raise ValueError(
+                    f"{path}:{line_no}: unknown event kind "
+                    f"{record.get('event')!r}; expected one of "
+                    f"{sorted(EVENT_KINDS)}")
+            if problems is not None:
+                problems.append(f"line {line_no}: skipped unknown event "
+                                f"kind {record.get('event')!r}")
+            continue
         events.append(event_from_record(record))
     return events
 
@@ -72,12 +91,15 @@ def _group_runs(events: list[Event]) -> list[list[Event]]:
     """Split a trace into per-run chunks at ``run_started`` boundaries.
 
     Traces that never saw a ``run_started`` (e.g. a bare ``train_model``)
-    form one chunk.
+    form one chunk.  Events preceding the first ``run_started`` (dataset
+    load spans, cache telemetry) belong to that first run, not to a
+    phantom unlabelled one.
     """
     runs: list[list[Event]] = []
     current: list[Event] = []
     for event in events:
-        if isinstance(event, RunStarted) and current:
+        if (isinstance(event, RunStarted)
+                and any(isinstance(e, RunStarted) for e in current)):
             runs.append(current)
             current = []
         current.append(event)

@@ -34,7 +34,9 @@ from ..datasets.loader import DataLoader
 from ..nn.checkpoint import load_checkpoint
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor
-from ..obs.events import ConsoleSink, EventBus, get_bus
+from ..obs.events import ConsoleSink, EventBus, bus_scope, get_bus
+from ..obs.spans import span
+from ..obs.stats import get_registry
 from .callbacks import Callback, default_callbacks
 
 __all__ = ["Engine", "EngineState"]
@@ -136,48 +138,75 @@ class Engine:
                             shuffle=True, seed=seed,
                             target_scaler=dataset.supervised.scaler)
 
+        registry = get_registry()
+        batch_hist = registry.histogram("train/batch_seconds")
+        batch_counter = registry.counter("train/batches")
+
         with contextlib.ExitStack() as stack:
+            # Nested instrumentation (loader gathers, kernel spans,
+            # validation predicts, checkpoint announcements) reaches the
+            # fit's bus even though those layers take no bus argument.
+            stack.enter_context(bus_scope(bus))
             if config.verbose:
                 stack.enter_context(
                     bus.scoped(ConsoleSink(kinds=("epoch_end",))))
+            stack.enter_context(span(
+                "train/fit", bus=bus, model=type(model).__name__,
+                epochs=config.epochs, batch_size=config.batch_size))
             for epoch in range(state.start_epoch, config.epochs):
                 state.epoch = epoch
-                model.train()
-                self._dispatch(callbacks, "on_epoch_start", state)
-                epoch_losses = []
-                start = time.perf_counter()
-                for batch_index, (x, y_scaled, _) in enumerate(loader):
-                    if (config.max_batches_per_epoch is not None
-                            and batch_index >= config.max_batches_per_epoch):
-                        break
-                    state.batch = batch_index
-                    loss = model.training_loss(Tensor(x), Tensor(y_scaled))
-                    optimizer.zero_grad()
-                    # Each batch builds a fresh tape, so release this one
-                    # eagerly — cuts peak RSS on the deep recurrent models.
-                    loss.backward(free_graph=True)
-                    self._dispatch(callbacks, "on_after_backward", state)
-                    optimizer.step()
-                    state.batch_loss = loss.item()
-                    epoch_losses.append(state.batch_loss)
-                    self._dispatch(callbacks, "on_batch_end", state)
-                if not epoch_losses:
-                    raise RuntimeError(
-                        f"epoch {epoch} produced no training batches "
-                        f"({dataset.supervised.train.num_samples} samples, "
-                        f"batch_size={config.batch_size}); the mean train "
-                        "loss would be NaN — use a larger split or a "
-                        "smaller batch size")
-                history.epoch_seconds.append(time.perf_counter() - start)
-                history.train_losses.append(float(np.mean(epoch_losses)))
-                self._dispatch(callbacks, "on_epoch_train_end", state)
+                with span("train/epoch", bus=bus, epoch=epoch + 1):
+                    model.train()
+                    self._dispatch(callbacks, "on_epoch_start", state)
+                    epoch_losses = []
+                    start = time.perf_counter()
+                    for batch_index, (x, y_scaled, _) in enumerate(loader):
+                        if (config.max_batches_per_epoch is not None
+                                and batch_index
+                                >= config.max_batches_per_epoch):
+                            break
+                        state.batch = batch_index
+                        batch_start = time.perf_counter()
+                        with span("train/batch", bus=bus,
+                                  batch=batch_index + 1, size=len(x)):
+                            with span("train/forward", bus=bus):
+                                loss = model.training_loss(Tensor(x),
+                                                           Tensor(y_scaled))
+                            optimizer.zero_grad()
+                            # Each batch builds a fresh tape, so release
+                            # this one eagerly — cuts peak RSS on the deep
+                            # recurrent models.
+                            with span("train/backward", bus=bus):
+                                loss.backward(free_graph=True)
+                            self._dispatch(callbacks, "on_after_backward",
+                                           state)
+                            with span("train/optim", bus=bus):
+                                optimizer.step()
+                        batch_hist.observe(time.perf_counter() - batch_start)
+                        batch_counter.inc()
+                        state.batch_loss = loss.item()
+                        epoch_losses.append(state.batch_loss)
+                        self._dispatch(callbacks, "on_batch_end", state)
+                    if not epoch_losses:
+                        raise RuntimeError(
+                            f"epoch {epoch} produced no training batches "
+                            f"({dataset.supervised.train.num_samples} "
+                            f"samples, batch_size={config.batch_size}); the "
+                            "mean train loss would be NaN — use a larger "
+                            "split or a smaller batch size")
+                    history.epoch_seconds.append(time.perf_counter() - start)
+                    history.train_losses.append(float(np.mean(epoch_losses)))
+                    self._dispatch(callbacks, "on_epoch_train_end", state)
 
-                val_prediction, _ = predict(model, dataset.supervised.val,
-                                            dataset.supervised.scaler,
-                                            config.eval_batch_size)
-                state.val_mae = mae(val_prediction, dataset.supervised.val.y)
-                history.val_maes.append(state.val_mae)
-                self._dispatch(callbacks, "on_epoch_end", state)
+                    with span("train/validate", bus=bus, epoch=epoch + 1):
+                        val_prediction, _ = predict(
+                            model, dataset.supervised.val,
+                            dataset.supervised.scaler,
+                            config.eval_batch_size)
+                    state.val_mae = mae(val_prediction,
+                                        dataset.supervised.val.y)
+                    history.val_maes.append(state.val_mae)
+                    self._dispatch(callbacks, "on_epoch_end", state)
                 if state.stop:
                     break
 

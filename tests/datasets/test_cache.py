@@ -21,7 +21,7 @@ def cache_dir(tmp_path, monkeypatch):
 
 
 def kinds(sink):
-    return [event.kind for event in sink.events]
+    return [event.kind for event in sink.events if event.kind != "span"]
 
 
 class TestKey:
@@ -86,7 +86,7 @@ class TestLoadDatasetCaching:
             first = load_dataset("metr-la", scale="ci")
             second = load_dataset("metr-la", scale="ci")
         assert kinds(sink) == ["cache_miss", "dataset_build", "cache_hit"]
-        miss, build, hit = sink.events
+        miss, build, hit = [e for e in sink.events if e.kind != "span"]
         assert miss.key == hit.key
         assert build.cached
         np.testing.assert_array_equal(first.supervised.series,
@@ -112,7 +112,8 @@ class TestLoadDatasetCaching:
             load_dataset("metr-la", scale="ci", cache=False)
             load_dataset("metr-la", scale="ci", cache=False)
         assert kinds(sink) == ["dataset_build", "dataset_build"]
-        assert not any(event.cached for event in sink.events)
+        assert not any(event.cached
+                       for event in sink.of_kind("dataset_build"))
 
     def test_distinct_worlds_distinct_entries(self, cache_dir):
         load_dataset("metr-la", scale="ci")

@@ -7,8 +7,9 @@ import pytest
 from repro.obs import (EVENT_KINDS, BatchEnd, CacheHit, CacheMiss,
                        CheckpointSaved, ConsoleSink, DataBench, DatasetBuild,
                        EpochEnd, EvalDone, EventBus, GradClip, JSONLSink,
-                       KernelBench, MemorySink, OptimBench, ProfileSnapshot,
-                       RunFinished, RunStarted, bus_scope, event_from_record,
+                       KernelBench, MemorySink, MetricsSnapshot, ObsBench,
+                       OptimBench, ProfileSnapshot, RunFinished, RunStarted,
+                       SpanEvent, bus_scope, event_from_record,
                        event_to_record, get_bus, read_trace)
 
 
@@ -44,6 +45,18 @@ def sample_events():
         CacheMiss(name="metr-la", scale="ci", key="0123456789abcdef"),
         DatasetBuild(name="metr-la", scale="ci", num_nodes=7,
                      num_steps=1152, seconds=0.8, cached=True),
+        ObsBench(name="traced_train_step", mode="full",
+                 reference_seconds=0.3, fast_seconds=0.302, speedup=0.99,
+                 meta={"overhead_pct": 0.7}),
+        SpanEvent(label="train/batch", span_id="2f", parent_id="1a",
+                  t_start=1700000000.5, seconds=0.025, status="ok",
+                  depth=2, thread=12345, attrs={"batch": 4}),
+        MetricsSnapshot(label="fit", counters={"train/batches": 6},
+                        gauges={"lr": 0.01},
+                        histograms={"train/batch_seconds": {
+                            "count": 6, "total": 0.9,
+                            "buckets": [0.01, 0.1],
+                            "counts": [0, 5, 1]}}),
     ]
 
 
@@ -100,6 +113,51 @@ class TestEventBus:
 
     def test_emit_without_sinks_is_noop(self):
         EventBus().emit(BatchEnd())     # must not raise
+
+    def test_has_sinks(self):
+        bus = EventBus()
+        assert not bus.has_sinks
+        sink = MemorySink()
+        bus.attach(sink)
+        assert bus.has_sinks
+        bus.detach(sink)
+        assert not bus.has_sinks
+
+    def test_poisoned_sink_does_not_break_the_run(self):
+        """A sink raising mid-run must not take telemetry (or training)
+        down with it: the bus warns once per sink and keeps emitting to
+        the healthy ones."""
+        calls = []
+
+        def poisoned(event):
+            calls.append(event)
+            raise RuntimeError("disk full")
+
+        healthy = MemorySink()
+        bus = EventBus([poisoned, healthy])
+        events = [BatchEnd(epoch=1, batch=b, loss=0.1) for b in range(3)]
+        with pytest.warns(RuntimeWarning, match="disk full") as record:
+            for event in events:
+                bus.emit(event)
+        assert healthy.events == events          # fan-out survived
+        assert len(calls) == 3                   # poisoned sink still called
+        assert len(record) == 1                  # but warned only once
+
+    def test_each_poisoned_sink_warns_independently(self):
+        def bad_a(event):
+            raise ValueError("a")
+
+        def bad_b(event):
+            raise ValueError("b")
+
+        bus = EventBus([bad_a, bad_b])
+        with pytest.warns(RuntimeWarning) as record:
+            bus.emit(BatchEnd())
+            bus.emit(BatchEnd())
+        messages = [str(w.message) for w in record]
+        assert len(messages) == 2
+        assert any("ValueError('a')" in m for m in messages)
+        assert any("ValueError('b')" in m for m in messages)
 
     def test_memory_sink_kind_filter(self):
         sink = MemorySink()

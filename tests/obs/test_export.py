@@ -1,0 +1,108 @@
+"""Chrome-tracing export: schema shape, span/instant mapping, file I/O."""
+
+import json
+
+import pytest
+
+from repro.obs import (BatchEnd, EpochEnd, EventBus, JSONLSink, MemorySink,
+                       chrome_trace, span, write_chrome_trace)
+
+#: Keys the Trace Event spec requires on every phase we emit.
+REQUIRED_BY_PHASE = {
+    "X": {"name", "cat", "ph", "ts", "dur", "pid", "tid"},
+    "i": {"name", "cat", "ph", "ts", "pid", "tid", "s"},
+    "M": {"name", "ph", "pid", "tid", "args"},
+}
+
+
+def traced_events():
+    sink = MemorySink()
+    bus = EventBus([sink])
+    with span("train/epoch", bus=bus, epoch=1):
+        with span("train/batch", bus=bus, batch=1):
+            pass
+        bus.emit(BatchEnd(epoch=1, batch=1, loss=0.5))
+    bus.emit(EpochEnd(epoch=1, total_epochs=1, train_loss=0.5, val_mae=3.0,
+                      seconds=1.0))
+    return sink.events
+
+
+class TestChromeTrace:
+    def test_schema_validates(self):
+        payload = chrome_trace(traced_events())
+        assert json.loads(json.dumps(payload)) == payload   # JSON-safe
+        assert payload["displayTimeUnit"] == "ms"
+        assert isinstance(payload["traceEvents"], list)
+        for entry in payload["traceEvents"]:
+            required = REQUIRED_BY_PHASE[entry["ph"]]
+            assert required <= set(entry), (
+                f"{entry['ph']!r} entry missing {required - set(entry)}")
+            if entry["ph"] != "M":
+                assert isinstance(entry["ts"], (int, float))
+
+    def test_spans_become_complete_slices(self):
+        payload = chrome_trace(traced_events())
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in slices}
+        assert set(by_name) == {"train/epoch", "train/batch"}
+        batch = by_name["train/batch"]
+        assert batch["cat"] == "train"
+        assert batch["dur"] >= 0
+        assert batch["args"]["batch"] == 1
+        assert batch["args"]["status"] == "ok"
+        # microseconds: the batch opens at/after the epoch opens
+        assert batch["ts"] >= by_name["train/epoch"]["ts"]
+
+    def test_other_events_become_instants(self):
+        payload = chrome_trace(traced_events())
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        names = {e["name"] for e in instants}
+        assert names == {"batch_end", "epoch_end"}
+        for entry in instants:
+            assert entry["cat"] == "event"
+            assert entry["s"] == "g"
+            assert "event" not in entry["args"]    # kind lives in "name"
+
+    def test_error_span_carries_error_arg(self):
+        sink = MemorySink()
+        with pytest.raises(ValueError):
+            with span("doomed", bus=EventBus([sink])):
+                raise ValueError("exploded")
+        (entry,) = [e for e in chrome_trace(sink.events)["traceEvents"]
+                    if e["ph"] == "X"]
+        assert entry["args"]["status"] == "error"
+        assert "exploded" in entry["args"]["error"]
+
+    def test_thread_metadata_emitted_once_per_thread(self):
+        payload = chrome_trace(traced_events())
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == len({e["tid"] for e in meta})
+        assert any(e["args"]["name"] == "main" for e in meta)
+
+    def test_empty_input(self):
+        payload = chrome_trace([])
+        assert payload["traceEvents"] == []
+
+
+class TestWriteChromeTrace:
+    def test_from_event_list(self, tmp_path):
+        out = tmp_path / "out.json"
+        payload = write_chrome_trace(traced_events(), out)
+        assert json.loads(out.read_text()) == payload
+
+    def test_from_jsonl_trace_file(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        with JSONLSink(trace) as jsonl:
+            bus = EventBus([jsonl])
+            with span("a", bus=bus):
+                with span("a/b", bus=bus):
+                    pass
+        payload = write_chrome_trace(trace, tmp_path / "out.json")
+        names = {e["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "X"}
+        assert names == {"a", "a/b"}
+
+    def test_creates_parent_directories(self, tmp_path):
+        out = tmp_path / "deep" / "nested" / "out.json"
+        write_chrome_trace([], out)
+        assert out.exists()

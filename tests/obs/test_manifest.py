@@ -5,8 +5,8 @@ import pytest
 
 import repro
 from repro.core import TrainingConfig
-from repro.obs import (RunManifest, build_manifest, peak_rss_kb,
-                       read_manifest, write_manifest)
+from repro.obs import (RunManifest, build_manifest, normalize_ru_maxrss,
+                       peak_rss_kb, read_manifest, write_manifest)
 from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, REQUIRED_FIELDS
 
 
@@ -46,6 +46,31 @@ class TestBuildManifest:
     def test_peak_rss_recorded_on_linux(self, manifest):
         assert manifest.peak_rss_kb == pytest.approx(peak_rss_kb(), rel=0.5)
         assert manifest.peak_rss_kb > 0
+
+
+class TestNormalizeRuMaxrss:
+    """``ru_maxrss`` units are platform-defined: KiB on Linux/BSD, bytes
+    on macOS — manifests must normalise to KiB either way."""
+
+    def test_linux_reading_is_already_kib(self):
+        assert normalize_ru_maxrss(123_456, system="Linux") == 123_456
+
+    def test_darwin_reading_is_bytes(self):
+        assert normalize_ru_maxrss(123_456 * 1024, system="Darwin") == 123_456
+
+    def test_darwin_floors_partial_kib(self):
+        assert normalize_ru_maxrss(2048 + 1023, system="Darwin") == 2
+
+    def test_unknown_systems_fall_back_to_kib(self):
+        assert normalize_ru_maxrss(77, system="FreeBSD") == 77
+
+    def test_defaults_to_current_platform(self):
+        import platform
+        expected = (normalize_ru_maxrss(4096, system=platform.system()))
+        assert normalize_ru_maxrss(4096) == expected
+
+    def test_result_is_int(self):
+        assert isinstance(normalize_ru_maxrss(1024.0, system="Darwin"), int)
 
 
 class TestManifestIO:

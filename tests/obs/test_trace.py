@@ -34,12 +34,16 @@ class TestExperimentTrace:
 
     def test_event_sequence(self, traced_run):
         _, trace_path, _ = traced_run
-        kinds = [e.kind for e in read_trace(trace_path)]
+        events = read_trace(trace_path)
+        kinds = [e.kind for e in events if e.kind != "span"]
         assert kinds[0] == "run_started"
         assert kinds[-1] == "run_finished"
         assert kinds.count("batch_end") == 3
         assert kinds.count("epoch_end") == 1
         assert kinds.count("eval_done") == 1
+        # the experiment/run span is the trace's outermost closing event
+        assert [e.kind for e in events][-1] == "span"
+        assert events[-1].label == "experiment/run"
 
     def test_epoch_end_carries_train_and_val_mae(self, traced_run):
         result, trace_path, _ = traced_run
@@ -133,6 +137,45 @@ class TestSummarizeTrace:
         assert any("missing field" in p for p in problems)
         assert any("not valid JSON" in p for p in problems)
         assert any("unknown event kind" in p for p in problems)
+
+
+class TestForeignEventKinds:
+    """A trace written by a newer version must still read (minus the
+    foreign events) — unknown kinds are reported problems, not errors."""
+
+    def _mixed_trace(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            '{"event": "batch_end", "epoch": 1, "batch": 1, '
+            '"loss": 0.5, "t": 1.0}\n'
+            '{"event": "from_the_future", "t": 2.0, "payload": 42}\n'
+            '{"event": "batch_end", "epoch": 1, "batch": 2, '
+            '"loss": 0.4, "t": 3.0}\n')
+        return path
+
+    def test_lenient_read_skips_and_reports(self, tmp_path):
+        path = self._mixed_trace(tmp_path)
+        problems = []
+        events = read_trace(path, problems=problems)
+        assert [e.kind for e in events] == ["batch_end", "batch_end"]
+        assert problems == [
+            "line 2: skipped unknown event kind 'from_the_future'"]
+
+    def test_lenient_read_without_problems_list(self, tmp_path):
+        events = read_trace(self._mixed_trace(tmp_path))
+        assert len(events) == 2
+
+    def test_strict_read_raises(self, tmp_path):
+        path = self._mixed_trace(tmp_path)
+        with pytest.raises(ValueError, match="unknown event kind "
+                                             "'from_the_future'"):
+            read_trace(path, strict=True)
+
+    def test_malformed_json_is_always_an_error(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"event": "batch_end"\n')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_trace(path, problems=[])
 
 
 class TestMatrixTracing:

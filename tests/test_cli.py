@@ -147,6 +147,49 @@ class TestTraceCommands:
         assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 1
         assert "cannot read trace" in capsys.readouterr().err
 
+    @pytest.fixture(scope="class")
+    def traced(self, tmp_path_factory):
+        trace = tmp_path_factory.mktemp("cli-trace") / "trace.jsonl"
+        main(["run", "linear", "pemsd8", "--epochs", "1", "--quiet",
+              "--trace", str(trace)])
+        return trace
+
+    def test_trace_spans_renders_table(self, capsys, traced):
+        assert main(["trace", "spans", str(traced)]) == 0
+        out = capsys.readouterr().out
+        assert "root(s)" in out
+        assert "experiment/run" in out
+        assert "train/batch" in out
+        assert "self s" in out
+
+    def test_trace_export_chrome(self, capsys, traced, tmp_path):
+        out_path = tmp_path / "timeline.json"
+        assert main(["trace", "export", str(traced), "--format", "chrome",
+                     "--output", str(out_path)]) == 0
+        assert "perfetto" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert "X" in phases and "i" in phases
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_trace_export_default_output_path(self, capsys, traced):
+        assert main(["trace", "export", str(traced)]) == 0
+        default = traced.with_suffix(".jsonl.chrome.json")
+        assert default.exists()
+
+    def test_trace_tolerates_unknown_event_kinds(self, capsys, traced,
+                                                 tmp_path):
+        """A trace containing a foreign event kind summarizes with a
+        warning instead of hard-failing (forward compatibility)."""
+        mixed = tmp_path / "mixed.jsonl"
+        mixed.write_text(traced.read_text()
+                         + '{"event": "from_the_future", "t": 1.0}\n')
+        assert main(["trace", "summarize", str(mixed)]) == 0
+        captured = capsys.readouterr()
+        assert "Trace [linear @ pemsd8, seed 0]" in captured.out
+        assert "unknown event kind 'from_the_future'" in captured.err
+        assert "line skipped" in captured.err
+
     def test_benchmark_trace_dir(self, capsys, tmp_path):
         out_dir = tmp_path / "traces"
         code = main(["benchmark", "--models", "linear",
@@ -224,3 +267,37 @@ class TestBenchDataCommand:
         out = capsys.readouterr().out
         assert "window_build" in out
         assert "dataset_load" not in out
+
+
+class TestBenchObsCommand:
+    def test_bench_obs_quick(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out_json = tmp_path / "BENCH_obs.json"
+        code = main(["bench", "obs", "--mode", "quick",
+                     "--json", str(out_json)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Observability benchmark suite" in out
+        assert "traced_train_step" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["suite"] == "obs"
+        assert payload["mode"] == "quick"
+        names = {case["name"] for case in payload["timings"]}
+        assert names == {"traced_train_step", "span_noop_vs_recorded",
+                         "metrics_registry"}
+        (traced,) = [c for c in payload["timings"]
+                     if c["name"] == "traced_train_step"]
+        assert "overhead_pct" in traced["meta"]
+
+    def test_bench_obs_single_case(self, capsys):
+        code = main(["bench", "obs", "--mode", "quick",
+                     "--case", "span_noop_vs_recorded"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "span_noop_vs_recorded" in out
+        assert "traced_train_step" not in out
+
+    def test_bench_obs_unknown_case(self, capsys):
+        assert main(["bench", "obs", "--mode", "quick",
+                     "--case", "nope"]) == 2
+        assert "unknown bench case" in capsys.readouterr().err
